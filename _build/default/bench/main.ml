@@ -1,0 +1,657 @@
+(* Benchmark harness: regenerates every table and figure of the
+   evaluation (see DESIGN.md §4 and EXPERIMENTS.md), then runs one
+   Bechamel micro-benchmark per table/figure.
+
+   Usage:
+     dune exec bench/main.exe                 -- everything
+     dune exec bench/main.exe -- table2 fig1  -- selected experiments
+     dune exec bench/main.exe -- notables     -- Bechamel section only *)
+
+module E = Preimage.Engine
+module I = Preimage.Instance
+module BE = Preimage.Bdd_engine
+module Ch = Preimage.Check
+module Rh = Preimage.Reach
+module N = Ps_circuit.Netlist
+module Sg = Ps_allsat.Solution_graph
+module Cube = Ps_allsat.Cube
+module T = Ps_gen.Targets
+module Suite = Ps_gen.Suite
+module Stats = Ps_util.Stats
+
+(* --- tiny fixed-width table printer ------------------------------------- *)
+
+(* When [csv_dir] is set (via the "csv" argument), every table is also
+   written as <dir>/<slug>.csv for downstream plotting. *)
+let csv_dir = ref None
+
+let csv_slug title =
+  let stop = try String.index title ':' with Not_found -> String.length title in
+  String.sub title 0 stop
+  |> String.lowercase_ascii
+  |> String.map (fun c -> if c = ' ' || c = '(' || c = ')' then '_' else c)
+
+let write_csv title header rows =
+  match !csv_dir with
+  | None -> ()
+  | Some dir ->
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    let path = Filename.concat dir (csv_slug title ^ ".csv") in
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        List.iter
+          (fun row -> output_string oc (String.concat "," row ^ "\n"))
+          (header :: rows))
+
+let print_table title header rows =
+  write_csv title header rows;
+  let all = header :: rows in
+  let ncols = List.length header in
+  let width c =
+    List.fold_left (fun w row -> max w (String.length (List.nth row c))) 0 all
+  in
+  let widths = List.init ncols width in
+  let line row =
+    String.concat "  "
+      (List.mapi
+         (fun c cell -> Printf.sprintf "%-*s" (List.nth widths c) cell)
+         row)
+  in
+  Printf.printf "\n== %s ==\n" title;
+  print_endline (line header);
+  print_endline (String.make (String.length (line header)) '-');
+  List.iter (fun r -> print_endline (line r)) rows;
+  flush stdout
+
+let f2 x = Printf.sprintf "%.2f" x
+let ms t = Printf.sprintf "%.1f" (t *. 1000.0)
+let g x = Printf.sprintf "%g" x
+
+(* Cap for the blocking engines so exponential enumerations terminate the
+   run with a DNF marker instead of hanging it. *)
+let blocking_cap = 20_000
+
+let run_capped m inst = E.run ~limit:blocking_cap m inst
+
+let mark_dnf r cell = if r.E.complete then cell else cell ^ "*"
+
+(* --- Table 1: benchmark characteristics ---------------------------------- *)
+
+let table1 () =
+  let rows =
+    List.map
+      (fun e ->
+        let c = Lazy.force e.Suite.circuit in
+        let i, l, gates, o = N.stats c in
+        let inst = I.make c (Suite.default_target e) in
+        let cone = N.cone inst.I.augmented [ inst.I.root ] in
+        let cone_size =
+          Array.fold_left (fun n b -> if b then n + 1 else n) 0 cone
+        in
+        let aig, _ = Ps_circuit.Aig.of_netlist c in
+        [
+          e.Suite.name;
+          string_of_int i;
+          string_of_int l;
+          string_of_int gates;
+          string_of_int (Ps_circuit.Aig.num_nodes aig);
+          string_of_int (Ps_circuit.Opt.depth c);
+          string_of_int (Ps_circuit.Opt.max_fanout c);
+          string_of_int o;
+          string_of_int cone_size;
+          e.Suite.description;
+        ])
+      Suite.all
+  in
+  print_table "Table 1: benchmark circuits"
+    [ "circuit"; "PI"; "FF"; "gates"; "aig"; "depth"; "fanout"; "PO"; "cone";
+      "description" ]
+    rows
+
+(* --- Table 2: all-SAT engine comparison ----------------------------------- *)
+
+let table2 () =
+  let rows =
+    List.concat_map
+      (fun e ->
+        let c = Lazy.force e.Suite.circuit in
+        let inst = I.make c (Suite.default_target e) in
+        List.map
+          (fun m ->
+            let r = run_capped m inst in
+            [
+              e.Suite.name;
+              E.method_name m;
+              mark_dnf r (g r.E.solutions);
+              mark_dnf r (string_of_int r.E.n_cubes);
+              (match r.E.graph_nodes with Some n -> string_of_int n | None -> "-");
+              string_of_int (Stats.get r.E.stats "sat_calls");
+              string_of_int (Stats.get r.E.stats "conflicts");
+              ms r.E.time_s;
+            ])
+          E.all_methods)
+      Suite.medium
+  in
+  print_table
+    "Table 2: one-step preimage, SAT all-solutions engines (loose target: \
+     top state bit set; * = cube cap hit)"
+    [ "circuit"; "engine"; "solutions"; "cubes"; "graph"; "sat_calls"; "conflicts"; "ms" ]
+    rows
+
+(* --- Table 3: SDS vs BDD --------------------------------------------------- *)
+
+let table3 () =
+  let rows =
+    List.concat_map
+      (fun e ->
+        let c = Lazy.force e.Suite.circuit in
+        List.map
+          (fun (tname, target) ->
+            let inst = I.make c target in
+            let r_sds = E.run E.Sds inst in
+            let r_bdd = BE.run inst in
+            let agree =
+              abs_float
+                (r_sds.E.solutions -. BE.count r_bdd ~nstate:(I.num_state inst))
+              < 0.5
+            in
+            [
+              e.Suite.name;
+              tname;
+              g r_sds.E.solutions;
+              (match r_sds.E.graph_nodes with Some n -> string_of_int n | None -> "-");
+              ms r_sds.E.time_s;
+              string_of_int r_bdd.BE.preimage_size;
+              string_of_int r_bdd.BE.nodes_allocated;
+              ms r_bdd.BE.time_s;
+              (if agree then "yes" else "NO!");
+            ])
+          [ ("loose", Suite.default_target e); ("tight", Suite.tight_target e) ])
+      Suite.medium
+  in
+  print_table
+    "Table 3: SDS (solution graph) vs BDD baseline (result nodes / total \
+     allocated nodes)"
+    [ "circuit"; "target"; "solutions"; "sds_nodes"; "sds_ms"; "bdd_nodes";
+      "bdd_alloc"; "bdd_ms"; "agree" ]
+    rows
+
+(* --- Table 4: backward reachability ----------------------------------------- *)
+
+let table4 () =
+  let cases =
+    [
+      ("count8", Ps_gen.Counters.binary ~bits:8 (), T.all_ones ~bits:8);
+      ("mod10", Ps_gen.Counters.modulo ~bits:4 ~m:10 (), T.value ~bits:4 9);
+      ("traffic", Ps_gen.Fsm.traffic (), T.of_strings [ "0111" ]);
+      ("seqdet8", Ps_gen.Fsm.seq_detector ~pattern:"10110111" (), T.upper_half ~bits:8);
+      ("arbiter4", Ps_gen.Fsm.arbiter ~clients:4 (), T.upper_half ~bits:8);
+      ("johnson8", Ps_gen.Counters.johnson ~bits:8 (), T.value ~bits:8 0x0F);
+    ]
+  in
+  let rows =
+    List.concat_map
+      (fun (name, circuit, target) ->
+        List.map
+          (fun engine ->
+            let r = Rh.backward ~engine circuit target in
+            [
+              name;
+              Rh.engine_name engine;
+              string_of_int (List.length r.Rh.steps);
+              g r.Rh.total_states;
+              (if r.Rh.fixpoint then "yes" else "no");
+              ms r.Rh.time_s;
+            ])
+          [ Rh.E_sds; Rh.E_sds_dynamic; Rh.E_blocking_lift; Rh.E_bdd ])
+      cases
+  in
+  print_table "Table 4: backward reachability to fixpoint"
+    [ "circuit"; "engine"; "steps"; "states"; "fixpoint"; "ms" ]
+    rows
+
+(* --- Figure 1: runtime vs number of solutions -------------------------------- *)
+
+let fig1 () =
+  let rows =
+    List.concat_map
+      (fun bits ->
+        let c = Ps_gen.Counters.binary ~bits () in
+        let inst = I.make c (T.upper_half ~bits) in
+        let solutions = (2.0 ** float_of_int (bits - 1)) +. 1.0 in
+        List.map
+          (fun m ->
+            let r = run_capped m inst in
+            [
+              string_of_int bits;
+              g solutions;
+              E.method_name m;
+              mark_dnf r (ms r.E.time_s);
+              mark_dnf r (string_of_int (Stats.get r.E.stats "sat_calls"));
+            ])
+          [ E.Sds; E.BlockingLift; E.Blocking ])
+      [ 4; 6; 8; 10; 12; 14; 16 ]
+  in
+  print_table
+    "Figure 1: runtime vs solution count (binary counter, target = top bit; \
+     series per engine; * = cube cap hit)"
+    [ "bits"; "solutions"; "engine"; "ms"; "sat_calls" ]
+    rows
+
+(* --- Figure 2: solution-graph compression -------------------------------------- *)
+
+let fig2 () =
+  let rows =
+    List.filter_map
+      (fun e ->
+        let c = Lazy.force e.Suite.circuit in
+        let inst = I.make c (Suite.default_target e) in
+        let r_sds = E.run E.Sds inst in
+        let r_lift = run_capped E.BlockingLift inst in
+        match r_sds.E.graph_nodes with
+        | Some nodes ->
+          Some
+            [
+              e.Suite.name;
+              g r_sds.E.solutions;
+              string_of_int nodes;
+              mark_dnf r_lift (string_of_int r_lift.E.n_cubes);
+              f2 (r_sds.E.solutions /. float_of_int (max nodes 1));
+            ]
+        | None -> None)
+      Suite.medium
+  in
+  print_table
+    "Figure 2: solution-graph compression (solutions per graph node; lifted \
+     cube count for comparison)"
+    [ "circuit"; "solutions"; "graph_nodes"; "lifted_cubes"; "sol/node" ]
+    rows
+
+(* --- Figure 3: cube enlargement effectiveness ------------------------------------ *)
+
+let fig3 () =
+  let rows =
+    List.map
+      (fun e ->
+        let c = Lazy.force e.Suite.circuit in
+        let inst = I.make c (Suite.default_target e) in
+        let r = run_capped E.BlockingLift inst in
+        let width = Ps_allsat.Project.width inst.I.proj in
+        let cubes = r.E.cubes in
+        let n = max (List.length cubes) 1 in
+        let avg_fixed =
+          float_of_int (List.fold_left (fun a c -> a + Cube.num_fixed c) 0 cubes)
+          /. float_of_int n
+        in
+        [
+          e.Suite.name;
+          string_of_int width;
+          mark_dnf r (string_of_int (List.length cubes));
+          f2 avg_fixed;
+          f2 (float_of_int width -. avg_fixed);
+          f2 (100.0 *. (1.0 -. (avg_fixed /. float_of_int width)));
+        ])
+      Suite.medium
+  in
+  print_table
+    "Figure 3: justification lifting (average fixed vs free literals per cube)"
+    [ "circuit"; "width"; "cubes"; "avg_fixed"; "avg_free"; "%don't-care" ]
+    rows
+
+(* --- Figure 4: success-driven learning ablation ------------------------------------ *)
+
+let fig4 () =
+  let rows =
+    List.map
+      (fun e ->
+        let c = Lazy.force e.Suite.circuit in
+        let inst = I.make c (Suite.default_target e) in
+        let r_on = E.run E.Sds inst in
+        let r_off = E.run E.SdsNoMemo inst in
+        let nodes r = Stats.get r.E.stats "search_nodes" in
+        [
+          e.Suite.name;
+          string_of_int (nodes r_on);
+          string_of_int (Stats.get r_on.E.stats "memo_hits");
+          ms r_on.E.time_s;
+          string_of_int (nodes r_off);
+          ms r_off.E.time_s;
+          f2 (float_of_int (nodes r_off) /. float_of_int (max (nodes r_on) 1));
+        ])
+      Suite.medium
+  in
+  print_table
+    "Figure 4 (ablation): success-driven learning on vs off (search nodes, \
+     node reduction factor)"
+    [ "circuit"; "nodes_on"; "memo_hits"; "ms_on"; "nodes_off"; "ms_off"; "node_ratio" ]
+    rows
+
+(* --- Figure 5: XOR-dominated regime ----------------------------------------------- *)
+
+let fig5 () =
+  (* Target = the LFSR feedback bit (an XOR over k tap stages). Its
+     preimage is a parity condition: justification lifting cannot drop
+     any tap literal (XOR gates need all fanins), so blocking-lift
+     enumerates 2^(k-1) cubes, while the parity solution graph has O(k)
+     nodes. This isolates the regime where the solution graph is the
+     only compact representation. *)
+  let bits = 16 in
+  let rows =
+    List.concat_map
+      (fun k ->
+        let taps = List.init k Fun.id in
+        let c = Ps_gen.Lfsr.fibonacci ~bits ~taps () in
+        (* feedback feeds state bit 0: target s'_0 = 1 *)
+        let inst = I.make c (T.bit_high ~bits 0) in
+        List.map
+          (fun m ->
+            let r = run_capped m inst in
+            [
+              string_of_int k;
+              E.method_name m;
+              mark_dnf r (g r.E.solutions);
+              mark_dnf r (string_of_int r.E.n_cubes);
+              (match r.E.graph_nodes with Some n -> string_of_int n | None -> "-");
+              ms r.E.time_s;
+            ])
+          [ E.Sds; E.BlockingLift ])
+      [ 2; 4; 6; 8; 10; 12 ]
+  in
+  print_table
+    "Figure 5: XOR-dominated targets (16-bit LFSR, target = feedback bit over \
+     k taps; lifting cannot enlarge, the solution graph stays linear)"
+    [ "taps"; "engine"; "solutions"; "cubes"; "graph"; "ms" ]
+    rows
+
+(* --- Table 5: k-step preimage (extension) ------------------------------------------ *)
+
+let table5 () =
+  (* One unrolled all-SAT query vs k chained one-step preimages. *)
+  let cases =
+    [
+      ("count8", Ps_gen.Counters.binary ~bits:8 (), T.all_ones ~bits:8);
+      ("traffic", Ps_gen.Fsm.traffic (), T.of_strings [ "0111" ]);
+      ("seqdet8", Ps_gen.Fsm.seq_detector ~pattern:"10110111" (), T.upper_half ~bits:8);
+      ("rand_b", Lazy.force (Suite.find "rand_b").Suite.circuit,
+       Suite.default_target (Suite.find "rand_b"));
+    ]
+  in
+  let rows =
+    List.concat_map
+      (fun (name, circuit, target) ->
+        List.map
+          (fun k ->
+            let r = Preimage.Kstep.preimage circuit target ~k in
+            (* chained baseline *)
+            let t0 = Unix.gettimeofday () in
+            let rec chain cubes k =
+              if k = 0 || cubes = [] then cubes
+              else chain (E.run E.Sds (I.make circuit cubes)).E.cubes (k - 1)
+            in
+            let chained = chain target k in
+            let chained_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+            let nstate = List.length (N.latches circuit) in
+            let chained_count =
+              E.solution_count_of_cubes nstate chained
+            in
+            [
+              name;
+              string_of_int k;
+              g r.Preimage.Kstep.solutions;
+              ms r.Preimage.Kstep.time_s;
+              g chained_count;
+              Printf.sprintf "%.1f" chained_ms;
+              (if abs_float (r.Preimage.Kstep.solutions -. chained_count) < 0.5
+               then "yes" else "NO!");
+            ])
+          [ 2; 4; 8 ])
+      cases
+  in
+  print_table
+    "Table 5 (extension): exact k-step preimage — single unrolled query (sds) \
+     vs k chained one-step queries"
+    [ "circuit"; "k"; "unrolled"; "unroll_ms"; "chained"; "chain_ms"; "agree" ]
+    rows
+
+(* --- Figure 6: cover quality after minimization (extension) -------------------------- *)
+
+let fig6 () =
+  let rows =
+    List.map
+      (fun e ->
+        let c = Lazy.force e.Suite.circuit in
+        let inst = I.make c (Suite.default_target e) in
+        let r = run_capped E.BlockingLift inst in
+        let width = Ps_allsat.Project.width inst.I.proj in
+        let minimized = Ps_allsat.Cube_set.minimize r.E.cubes in
+        let sds = E.run E.Sds inst in
+        [
+          e.Suite.name;
+          mark_dnf r (string_of_int r.E.n_cubes);
+          string_of_int (List.length minimized);
+          string_of_int (List.length (Ps_allsat.Cube_set.reduce r.E.cubes));
+          string_of_int sds.E.n_cubes;
+          (if Ps_allsat.Cube_set.equal_union width r.E.cubes minimized then "yes"
+           else "NO!");
+        ])
+      Suite.medium
+  in
+  print_table
+    "Figure 6 (extension): two-level minimization of the lifted cover vs the \
+     solution graph's disjoint path cover"
+    [ "circuit"; "lifted"; "minimized"; "subsume-only"; "sds_paths"; "union_ok" ]
+    rows
+
+(* --- Table 6: all-solutions ATPG (extension) ----------------------------------------- *)
+
+let table6 () =
+  (* Complete stuck-at test sets via the all-SAT engines (full-scan view:
+     latch outputs are controllable pseudo-inputs). *)
+  let cases =
+    [ "s27"; "mod10"; "traffic"; "seqdet"; "rand_a" ]
+    |> List.map (fun name ->
+           (name, Lazy.force (Suite.find name).Suite.circuit))
+  in
+  let rows =
+    List.concat_map
+      (fun (name, circuit) ->
+        List.map
+          (fun m ->
+            let t0 = Unix.gettimeofday () in
+            let reports = Preimage.Atpg.all ~method_:m circuit in
+            let time = Unix.gettimeofday () -. t0 in
+            let n, detectable, vectors, avg_cover = Preimage.Atpg.summary reports in
+            let sat_calls =
+              List.fold_left (fun acc r -> acc + r.Preimage.Atpg.sat_calls) 0 reports
+            in
+            [
+              name;
+              E.method_name m;
+              string_of_int n;
+              string_of_int detectable;
+              g vectors;
+              f2 avg_cover;
+              string_of_int sat_calls;
+              ms time;
+            ])
+          [ E.Sds; E.BlockingLift ])
+      cases
+  in
+  print_table
+    "Table 6 (extension): complete stuck-at test sets via all-solutions SAT \
+     (all faults, full-scan)"
+    [ "circuit"; "engine"; "faults"; "detectable"; "vectors"; "avg_cover";
+      "sat_calls"; "ms" ]
+    rows
+
+(* --- Figure 7: decision-order sensitivity (extension) -------------------------------- *)
+
+let fig7 () =
+  let variants =
+    [
+      ("natural", I.Natural, E.Sds);
+      ("cone-first", I.Cone_first, E.Sds);
+      ("reverse", I.Reverse, E.Sds);
+      ("dynamic", I.Natural, E.SdsDynamic);
+    ]
+  in
+  let rows =
+    List.concat_map
+      (fun e ->
+        let c = Lazy.force e.Suite.circuit in
+        List.map
+          (fun (oname, order, method_) ->
+            let inst = I.make ~order c (Suite.default_target e) in
+            let r = E.run method_ inst in
+            [
+              e.Suite.name;
+              oname;
+              string_of_int (Stats.get r.E.stats "search_nodes");
+              string_of_int (Stats.get r.E.stats "memo_hits");
+              (match r.E.graph_nodes with Some n -> string_of_int n | None -> "-");
+              ms r.E.time_s;
+            ])
+          variants)
+      Suite.medium
+  in
+  print_table
+    "Figure 7 (extension): SDS decision-order sensitivity (static orders + \
+     dynamic frontier-first decisions, which build a free BDD)"
+    [ "circuit"; "order"; "search_nodes"; "memo_hits"; "graph"; "ms" ]
+    rows
+
+(* --- consistency gate --------------------------------------------------------- *)
+
+let sanity () =
+  (* One cross-engine equality check per small-suite circuit before
+     trusting the numbers above. *)
+  let failures = ref [] in
+  List.iter
+    (fun e ->
+      let c = Lazy.force e.Suite.circuit in
+      let inst = I.make c (Suite.default_target e) in
+      let results = List.map (fun m -> E.run m inst) E.all_methods in
+      match Ch.engines_agree inst results with
+      | Ok _ -> ()
+      | Error msg -> failures := (e.Suite.name ^ ": " ^ msg) :: !failures)
+    Suite.small;
+  match !failures with
+  | [] -> print_endline "\nsanity: all engines agree on the small suite"
+  | fs ->
+    List.iter (fun f -> print_endline ("SANITY FAILURE: " ^ f)) fs;
+    exit 1
+
+(* --- Bechamel micro-benchmarks: one per table/figure ---------------------------- *)
+
+let bechamel_section () =
+  let open Bechamel in
+  let counter8 = Ps_gen.Counters.binary ~bits:8 () in
+  let inst8 = I.make counter8 (T.upper_half ~bits:8) in
+  let traffic = Ps_gen.Fsm.traffic () in
+  let rand_b_entry = Suite.find "rand_b" in
+  let rand_b = Lazy.force rand_b_entry.Suite.circuit in
+  let inst_rb = I.make rand_b (Suite.default_target rand_b_entry) in
+  let c12 = Ps_gen.Counters.binary ~bits:12 () in
+  let i12 = I.make c12 (T.upper_half ~bits:12) in
+  let tests =
+    Test.make_grouped ~name:"preimage"
+      [
+        Test.make ~name:"table1-circuit-stats"
+          (Staged.stage (fun () ->
+               List.iter
+                 (fun e -> ignore (N.stats (Lazy.force e.Suite.circuit)))
+                 Suite.all));
+        Test.make ~name:"table2-sds-count8"
+          (Staged.stage (fun () -> ignore (E.run E.Sds inst8)));
+        Test.make ~name:"table2-blocking-lift-count8"
+          (Staged.stage (fun () -> ignore (E.run E.BlockingLift inst8)));
+        Test.make ~name:"table3-bdd-count8"
+          (Staged.stage (fun () -> ignore (BE.run inst8)));
+        Test.make ~name:"table4-reach-traffic"
+          (Staged.stage (fun () ->
+               ignore
+                 (Rh.backward ~engine:Rh.E_sds traffic (T.of_strings [ "0111" ]))));
+        Test.make ~name:"fig1-sds-count12"
+          (Staged.stage (fun () -> ignore (E.run E.Sds i12)));
+        Test.make ~name:"fig2-graph-union"
+          (Staged.stage (fun () ->
+               let man = Sg.new_man ~width:12 in
+               let rng = Ps_util.Rng.create ~seed:3 in
+               ignore
+                 (List.fold_left
+                    (fun acc c -> Sg.union acc (Sg.of_cube man c))
+                    (Sg.zero man)
+                    (T.random ~bits:12 ~ncubes:40 ~density:0.4 rng))));
+        Test.make ~name:"fig3-lifting-rand_b"
+          (Staged.stage (fun () -> ignore (E.run E.BlockingLift inst_rb)));
+        Test.make ~name:"fig4-sds-nomemo-count8"
+          (Staged.stage (fun () -> ignore (E.run E.SdsNoMemo inst8)));
+        Test.make ~name:"fig7-sds-conefirst-count8"
+          (Staged.stage
+             (let inst = I.make ~order:I.Cone_first counter8 (T.upper_half ~bits:8) in
+              fun () -> ignore (E.run E.Sds inst)));
+        Test.make ~name:"table6-atpg-s27"
+          (Staged.stage
+             (let s27 = Ps_gen.Iscas.s27 () in
+              fun () -> ignore (Preimage.Atpg.all s27)));
+        Test.make ~name:"table5-kstep-traffic"
+          (Staged.stage (fun () ->
+               ignore
+                 (Preimage.Kstep.preimage traffic (T.of_strings [ "0111" ]) ~k:4)));
+        Test.make ~name:"fig6-minimize-count8"
+          (Staged.stage
+             (let r = E.run E.BlockingLift inst8 in
+              fun () -> ignore (Ps_allsat.Cube_set.minimize r.E.cubes)));
+        Test.make ~name:"fig5-sds-parity-lfsr"
+          (Staged.stage
+             (let c = Ps_gen.Lfsr.fibonacci ~bits:16 ~taps:[ 0; 1; 2; 3; 4; 5; 6; 7 ] () in
+              let inst = I.make c (T.bit_high ~bits:16 0) in
+              fun () -> ignore (E.run E.Sds inst)));
+      ]
+  in
+  let cfg = Benchmark.cfg ~limit:100 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] tests in
+  let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| "run" |] in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols ->
+      let est =
+        match Analyze.OLS.estimates ols with
+        | Some (t :: _) -> Printf.sprintf "%.3f" (t /. 1e6)
+        | _ -> "?"
+      in
+      rows := [ name; est ] :: !rows)
+    results;
+  print_table "Bechamel micro-benchmarks (OLS estimate)"
+    [ "benchmark"; "ms/run" ]
+    (List.sort compare !rows)
+
+(* --- main ------------------------------------------------------------------------ *)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let args =
+    if List.mem "csv" args then begin
+      csv_dir := Some "bench_out";
+      List.filter (fun a -> a <> "csv") args
+    end
+    else args
+  in
+  let want name = args = [] || List.mem name args in
+  let experiments =
+    [
+      ("table1", table1); ("table2", table2); ("table3", table3);
+      ("table4", table4); ("fig1", fig1); ("fig2", fig2); ("fig3", fig3);
+      ("fig4", fig4); ("fig5", fig5); ("table5", table5); ("fig6", fig6);
+      ("table6", table6); ("fig7", fig7);
+    ]
+  in
+  if not (List.mem "notables" args) then begin
+    sanity ();
+    List.iter (fun (name, f) -> if want name then f ()) experiments
+  end;
+  if args = [] || List.mem "bechamel" args || List.mem "notables" args then
+    bechamel_section ()

@@ -1,0 +1,475 @@
+(* preimage_cli: command-line front end.
+
+   Subcommands:
+     suite                        list the benchmark suite (Table-1 data)
+     info CIRCUIT                 show a circuit (.bench text + stats)
+     preimage CIRCUIT [opts]      one-step preimage with a chosen engine
+     reach CIRCUIT [opts]         backward-reachability fixpoint
+     allsat FILE.cnf [opts]       projected all-SAT over a DIMACS formula *)
+
+open Cmdliner
+module E = Preimage.Engine
+module I = Preimage.Instance
+module R = Preimage.Reach
+module N = Ps_circuit.Netlist
+
+(* --- shared argument parsing ------------------------------------------ *)
+
+let load_circuit spec =
+  match Ps_gen.Suite.find spec with
+  | entry -> Lazy.force entry.Ps_gen.Suite.circuit
+  | exception Not_found ->
+    if Sys.file_exists spec then
+      if Filename.check_suffix spec ".v" then Ps_circuit.Verilog.parse_file spec
+      else Ps_circuit.Bench.parse_file spec
+    else
+      failwith
+        (Printf.sprintf
+           "unknown circuit %S (not a suite name — try 'suite' — and not a file)"
+           spec)
+
+let parse_target circuit spec =
+  let bits = List.length (N.latches circuit) in
+  let names = Array.of_list (List.map (N.name circuit) (N.latches circuit)) in
+  Ps_gen.Targets.parse ~bits ~names spec
+
+let circuit_arg =
+  let doc = "Circuit: a suite name (see $(b,suite)) or a .bench file path." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"CIRCUIT" ~doc)
+
+let target_arg =
+  let doc =
+    "Target next-state set: $(b,all-ones), $(b,all-zeros), $(b,upper-half), \
+     $(b,value:)$(i,K), $(b,expr:)$(i,E) (boolean expression over the \
+     latch names, e.g. $(b,expr:q3&!q0)), or comma-separated cubes over \
+     the state bits (LSB first), e.g. $(b,1-0,01-)."
+  in
+  Arg.(value & opt string "upper-half" & info [ "t"; "target" ] ~docv:"TARGET" ~doc)
+
+(* --- suite ------------------------------------------------------------ *)
+
+let suite_cmd =
+  let run () =
+    Format.printf "%-10s %6s %7s %6s %8s  %s@." "name" "inputs" "latches"
+      "gates" "outputs" "description";
+    List.iter
+      (fun e ->
+        let c = Lazy.force e.Ps_gen.Suite.circuit in
+        let i, l, g, o = N.stats c in
+        Format.printf "%-10s %6d %7d %6d %8d  %s@." e.Ps_gen.Suite.name i l g o
+          e.Ps_gen.Suite.description)
+      Ps_gen.Suite.all
+  in
+  Cmd.v (Cmd.info "suite" ~doc:"List the benchmark circuits")
+    Term.(const run $ const ())
+
+(* --- info ------------------------------------------------------------- *)
+
+let info_cmd =
+  let verilog =
+    Arg.(value & flag & info [ "verilog" ] ~doc:"Emit structural Verilog instead of .bench.")
+  in
+  let run spec verilog =
+    let c = load_circuit spec in
+    let text =
+      if verilog then Ps_circuit.Verilog.to_string ~module_name:"top" c
+      else Ps_circuit.Bench.to_string c
+    in
+    Format.printf "%a@.@.%s" N.pp c text
+  in
+  Cmd.v (Cmd.info "info" ~doc:"Print a circuit as .bench or Verilog text")
+    Term.(const run $ circuit_arg $ verilog)
+
+(* --- preimage ---------------------------------------------------------- *)
+
+let engine_conv =
+  let parse = function
+    | "sds" -> Ok E.Sds
+    | "sds-dynamic" -> Ok E.SdsDynamic
+    | "sds-nomemo" -> Ok E.SdsNoMemo
+    | "blocking" -> Ok E.Blocking
+    | "blocking-lift" -> Ok E.BlockingLift
+    | s -> Error (`Msg (Printf.sprintf "unknown engine %S" s))
+  in
+  Arg.conv (parse, fun ppf m -> Format.pp_print_string ppf (E.method_name m))
+
+let preimage_cmd =
+  let engine =
+    Arg.(
+      value
+      & opt engine_conv E.Sds
+      & info [ "e"; "engine" ] ~docv:"ENGINE"
+          ~doc:
+            "$(b,sds) (default), $(b,sds-dynamic), $(b,sds-nomemo), \
+             $(b,blocking), or $(b,blocking-lift).")
+  in
+  let include_inputs =
+    Arg.(
+      value & flag
+      & info [ "inputs" ] ~doc:"Enumerate (state, input) pairs, not just states.")
+  in
+  let limit =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "limit" ] ~docv:"N" ~doc:"Cap enumerated cubes (blocking engines).")
+  in
+  let show_cubes =
+    Arg.(value & flag & info [ "cubes" ] ~doc:"Print every solution cube.")
+  in
+  let bdd = Arg.(value & flag & info [ "bdd" ] ~doc:"Also run the BDD baseline.") in
+  let ksteps =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "k" ] ~docv:"K"
+          ~doc:"Exact $(i,K)-step preimage via time-frame expansion.")
+  in
+  let universal =
+    Arg.(
+      value & flag
+      & info [ "universal" ]
+          ~doc:"Universal (forall-input) preimage: states guaranteed to land \
+                in the target.")
+  in
+  let run spec target_spec engine include_inputs limit show_cubes bdd ksteps universal =
+    let circuit = load_circuit spec in
+    let target = parse_target circuit target_spec in
+    match (ksteps, universal) with
+    | Some _, true -> failwith "--k and --universal are mutually exclusive"
+    | Some k, false ->
+      let r = Preimage.Kstep.preimage ~method_:engine circuit target ~k in
+      Format.printf "k=%d engine=%s solutions=%g cubes=%d time=%.4fs@." k
+        (E.method_name engine) r.Preimage.Kstep.solutions
+        (List.length r.Preimage.Kstep.cubes)
+        r.Preimage.Kstep.time_s;
+      if show_cubes then
+        List.iter
+          (fun c -> Format.printf "  %a@." Ps_allsat.Cube.pp c)
+          r.Preimage.Kstep.cubes
+    | None, true ->
+      let r = Preimage.Universal.preimage ~method_:engine circuit target in
+      Format.printf "universal preimage: %g states, %d cubes, time=%.4fs@."
+        r.Preimage.Universal.count
+        (List.length r.Preimage.Universal.cubes)
+        r.Preimage.Universal.time_s;
+      if show_cubes then
+        List.iter
+          (fun c -> Format.printf "  %a@." Ps_allsat.Cube.pp c)
+          r.Preimage.Universal.cubes
+    | None, false ->
+    let instance = I.make ~include_inputs circuit target in
+    let r = E.run ?limit engine instance in
+    Format.printf
+      "engine=%s solutions=%g cubes=%d%s time=%.4fs sat_calls=%d conflicts=%d@."
+      (E.method_name r.E.method_) r.E.solutions r.E.n_cubes
+      (match r.E.graph_nodes with
+      | Some n -> Printf.sprintf " graph_nodes=%d" n
+      | None -> "")
+      r.E.time_s
+      (Ps_util.Stats.get r.E.stats "sat_calls")
+      (Ps_util.Stats.get r.E.stats "conflicts");
+    if not r.E.complete then Format.printf "(incomplete: cube limit reached)@.";
+    if show_cubes then
+      List.iter
+        (fun c -> Format.printf "  %a@." (Ps_allsat.Project.pp_cube instance.I.proj) c)
+        r.E.cubes;
+    if bdd then begin
+      let br = Preimage.Bdd_engine.run instance in
+      Format.printf
+        "bdd baseline: states=%g result_nodes=%d allocated_nodes=%d time=%.4fs@."
+        (Preimage.Bdd_engine.count br ~nstate:(I.num_state instance))
+        br.Preimage.Bdd_engine.preimage_size
+        br.Preimage.Bdd_engine.nodes_allocated br.Preimage.Bdd_engine.time_s
+    end
+  in
+  Cmd.v
+    (Cmd.info "preimage" ~doc:"Compute a one-step preimage")
+    Term.(
+      const run $ circuit_arg $ target_arg $ engine $ include_inputs $ limit
+      $ show_cubes $ bdd $ ksteps $ universal)
+
+(* --- reach -------------------------------------------------------------- *)
+
+let reach_cmd =
+  let engine =
+    let parse = function
+      | "sds" -> Ok R.E_sds
+      | "sds-dynamic" -> Ok R.E_sds_dynamic
+      | "blocking-lift" -> Ok R.E_blocking_lift
+      | "bdd" -> Ok R.E_bdd
+      | s -> Error (`Msg (Printf.sprintf "unknown engine %S" s))
+    in
+    Arg.(
+      value
+      & opt (Arg.conv (parse, fun ppf e -> Format.pp_print_string ppf (R.engine_name e))) R.E_sds
+      & info [ "e"; "engine" ] ~docv:"ENGINE"
+          ~doc:"$(b,sds) (default), $(b,sds-dynamic), $(b,blocking-lift), or $(b,bdd).")
+  in
+  let max_steps =
+    Arg.(value & opt int 1000 & info [ "max-steps" ] ~docv:"N" ~doc:"Step cap.")
+  in
+  let trace_from =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"BITS"
+          ~doc:
+            "After the fixpoint, extract a witness input trace from this \
+             state (0/1 string, state bit 0 first).")
+  in
+  let run spec target_spec engine max_steps trace_from =
+    let circuit = load_circuit spec in
+    let target = parse_target circuit target_spec in
+    let r = R.backward ~engine ~max_steps circuit target in
+    Format.printf "engine=%s steps=%d total_states=%g fixpoint=%b time=%.3fs@."
+      (R.engine_name r.R.engine) (List.length r.R.steps) r.R.total_states
+      r.R.fixpoint r.R.time_s;
+    List.iter
+      (fun s ->
+        Format.printf "  step %3d: +%g (total %g, %d cubes, %.4fs)@." s.R.index
+          s.R.frontier_states s.R.total_states s.R.frontier_cubes s.R.time_s)
+      r.R.steps;
+    match trace_from with
+    | None -> ()
+    | Some bits ->
+      let from = Array.init (String.length bits) (fun i -> bits.[i] = '1') in
+      (match R.trace r circuit ~from with
+      | None -> Format.printf "state %s cannot reach the target@." bits
+      | Some inputs ->
+        Format.printf "witness (%d cycles):@." (List.length inputs);
+        List.iteri
+          (fun t iv ->
+            Format.printf "  cycle %d: %s@." t
+              (String.concat ""
+                 (Array.to_list (Array.map (fun b -> if b then "1" else "0") iv))))
+          inputs)
+  in
+  Cmd.v
+    (Cmd.info "reach" ~doc:"Backward-reachability fixpoint")
+    Term.(const run $ circuit_arg $ target_arg $ engine $ max_steps $ trace_from)
+
+(* --- allsat -------------------------------------------------------------- *)
+
+let allsat_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.cnf" ~doc:"DIMACS file.")
+  in
+  let width =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "w"; "width" ] ~docv:"K"
+          ~doc:"Project onto the first K variables (default: all).")
+  in
+  let limit =
+    Arg.(value & opt int 1_000_000 & info [ "limit" ] ~docv:"N" ~doc:"Cube cap.")
+  in
+  let use_lift =
+    Arg.(
+      value & flag
+      & info [ "lift" ] ~doc:"Enlarge each solution into a cube (clause analysis).")
+  in
+  let minimize =
+    Arg.(
+      value & flag
+      & info [ "minimize" ] ~doc:"Post-process the cover (subsumption + merging).")
+  in
+  let run file width limit use_lift minimize =
+    let cnf, declared = Ps_sat.Dimacs.parse_file_projected file in
+    let proj =
+      match (width, declared) with
+      | Some w, _ ->
+        Ps_allsat.Project.of_vars (Array.init (min w cnf.Ps_sat.Cnf.nvars) Fun.id)
+      | None, Some vars ->
+        Ps_allsat.Project.of_vars
+          (Array.of_list (List.filter (fun v -> v < cnf.Ps_sat.Cnf.nvars) vars))
+      | None, None ->
+        Ps_allsat.Project.of_vars (Array.init cnf.Ps_sat.Cnf.nvars Fun.id)
+    in
+    let w = Ps_allsat.Project.width proj in
+    let solver = Ps_sat.Solver.create () in
+    if not (Ps_sat.Solver.load solver cnf) then
+      Format.printf "unsatisfiable at root@."
+    else begin
+      let lift = if use_lift then Some (Ps_allsat.Cnf_lift.make cnf proj) else None in
+      let r = Ps_allsat.Blocking.enumerate ~limit ?lift solver proj in
+      let cubes = r.Ps_allsat.Blocking.cubes in
+      let cubes = if minimize then Ps_allsat.Cube_set.minimize cubes else cubes in
+      Format.printf "%d cubes covering %g projected solutions%s (%d SAT calls)@."
+        (List.length cubes)
+        (Ps_allsat.Cube_set.union_count w cubes)
+        (if r.Ps_allsat.Blocking.complete then "" else " [limit]")
+        r.Ps_allsat.Blocking.sat_calls;
+      List.iter (fun c -> Format.printf "%a@." Ps_allsat.Cube.pp c) cubes
+    end
+  in
+  Cmd.v
+    (Cmd.info "allsat" ~doc:"Enumerate projected solutions of a DIMACS formula")
+    Term.(const run $ file $ width $ limit $ use_lift $ minimize)
+
+(* --- bmc ------------------------------------------------------------------ *)
+
+let bmc_cmd =
+  let init =
+    Arg.(
+      value
+      & opt string "all-zeros"
+      & info [ "i"; "init" ] ~docv:"INIT" ~doc:"Initial state set (target syntax).")
+  in
+  let max_depth =
+    Arg.(value & opt int 50 & info [ "max-depth" ] ~docv:"N" ~doc:"Depth bound.")
+  in
+  let vcd =
+    Arg.(
+      value & opt (some string) None
+      & info [ "vcd" ] ~docv:"FILE" ~doc:"Dump the counterexample waveform as VCD.")
+  in
+  let run spec bad_spec init_spec max_depth vcd =
+    let circuit = load_circuit spec in
+    let bad = parse_target circuit bad_spec in
+    let init = parse_target circuit init_spec in
+    match Preimage.Bmc.check circuit ~init ~bad ~max_depth with
+    | None -> Format.printf "safe up to depth %d@." max_depth
+    | Some cex ->
+      let bits a =
+        String.concat ""
+          (Array.to_list (Array.map (fun b -> if b then "1" else "0") a))
+      in
+      Format.printf "counterexample at depth %d@." cex.Preimage.Bmc.depth;
+      Format.printf "  initial state: %s@." (bits cex.Preimage.Bmc.initial);
+      List.iteri
+        (fun t iv -> Format.printf "  cycle %d inputs: %s@." t (bits iv))
+        cex.Preimage.Bmc.inputs;
+      Format.printf "  final state:   %s@." (bits cex.Preimage.Bmc.final);
+      match vcd with
+      | None -> ()
+      | Some path ->
+        Ps_circuit.Vcd.write_file path circuit ~state:cex.Preimage.Bmc.initial
+          ~input_seq:cex.Preimage.Bmc.inputs;
+        Format.printf "waveform written to %s@." path
+  in
+  Cmd.v
+    (Cmd.info "bmc" ~doc:"Bounded model checking (shortest counterexample)")
+    Term.(const run $ circuit_arg $ target_arg $ init $ max_depth $ vcd)
+
+(* --- atpg ------------------------------------------------------------------ *)
+
+let atpg_cmd =
+  let engine =
+    Arg.(
+      value & opt engine_conv E.BlockingLift
+      & info [ "e"; "engine" ] ~docv:"ENGINE" ~doc:"All-SAT engine for test sets.")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Per-fault reports.")
+  in
+  let run spec engine verbose =
+    let circuit = load_circuit spec in
+    let reports = Preimage.Atpg.all ~method_:engine circuit in
+    let n, detectable, vectors, avg_cover = Preimage.Atpg.summary reports in
+    Format.printf
+      "faults=%d detectable=%d total_vectors=%g avg_cover=%.2f coverage=%.1f%%@."
+      n detectable vectors avg_cover
+      (100.0 *. float_of_int detectable /. float_of_int (max n 1));
+    if verbose then
+      List.iter
+        (fun r ->
+          Format.printf "  %-12s s-a-%d %s %g vectors in %d cubes@."
+            r.Preimage.Atpg.net_name
+            (if r.Preimage.Atpg.fault.Ps_circuit.Faults.stuck_at then 1 else 0)
+            (if r.Preimage.Atpg.detectable then "DET  " else "REDUN")
+            r.Preimage.Atpg.vectors r.Preimage.Atpg.cubes)
+        reports
+  in
+  Cmd.v
+    (Cmd.info "atpg" ~doc:"Complete stuck-at test sets via all-solutions SAT")
+    Term.(const run $ circuit_arg $ engine $ verbose)
+
+(* --- prove (k-induction) ------------------------------------------------------ *)
+
+let prove_cmd =
+  let init =
+    Arg.(
+      value & opt string "all-zeros"
+      & info [ "i"; "init" ] ~docv:"INIT" ~doc:"Initial state set (target syntax).")
+  in
+  let max_k =
+    Arg.(value & opt int 20 & info [ "max-k" ] ~docv:"K" ~doc:"Induction depth bound.")
+  in
+  let unique =
+    Arg.(
+      value & flag
+      & info [ "unique" ] ~doc:"Simple-path (distinct states) constraints.")
+  in
+  let run spec bad_spec init_spec max_k unique =
+    let circuit = load_circuit spec in
+    let bad = parse_target circuit bad_spec in
+    let init = parse_target circuit init_spec in
+    match Preimage.Induction.prove ~unique_states:unique circuit ~init ~bad ~max_k with
+    | Preimage.Induction.Proved k -> Format.printf "PROVED (inductive at k=%d)@." k
+    | Preimage.Induction.Unknown k ->
+      Format.printf "UNKNOWN (not inductive up to k=%d; no counterexample)@." k
+    | Preimage.Induction.Falsified cex ->
+      Format.printf "FALSIFIED at depth %d@." cex.Preimage.Bmc.depth;
+      List.iteri
+        (fun t iv ->
+          Format.printf "  cycle %d inputs: %s@." t
+            (String.concat ""
+               (Array.to_list (Array.map (fun b -> if b then "1" else "0") iv))))
+        cex.Preimage.Bmc.inputs
+  in
+  Cmd.v
+    (Cmd.info "prove" ~doc:"Prove a safety property by k-induction")
+    Term.(const run $ circuit_arg $ target_arg $ init $ max_k $ unique)
+
+(* --- equiv (sequential equivalence) --------------------------------------------- *)
+
+let equiv_cmd =
+  let circuit_b =
+    Arg.(
+      required & pos 1 (some string) None
+      & info [] ~docv:"CIRCUIT_B" ~doc:"Second circuit (suite name or .bench).")
+  in
+  let bits_arg name =
+    Arg.(
+      value & opt (some string) None
+      & info [ name ] ~docv:"BITS"
+          ~doc:"Initial state, 0/1 string (state bit 0 first; default all zeros).")
+  in
+  let run spec_a spec_b init_a init_b =
+    let a = load_circuit spec_a and b = load_circuit spec_b in
+    let parse_bits circuit = function
+      | None -> Array.make (List.length (N.latches circuit)) false
+      | Some s -> Array.init (String.length s) (fun i -> s.[i] = '1')
+    in
+    match
+      Preimage.Sec.check a b ~init_a:(parse_bits a init_a)
+        ~init_b:(parse_bits b init_b)
+    with
+    | Preimage.Sec.Equivalent { states_explored } ->
+      Format.printf "EQUIVALENT (%g product states explored)@." states_explored
+    | Preimage.Sec.Inequivalent cex ->
+      Format.printf
+        "INEQUIVALENT: outputs can diverge after %d cycles@." cex.Preimage.Bmc.depth;
+      List.iteri
+        (fun t iv ->
+          Format.printf "  cycle %d inputs: %s@." t
+            (String.concat ""
+               (Array.to_list (Array.map (fun b -> if b then "1" else "0") iv))))
+        cex.Preimage.Bmc.inputs
+  in
+  Cmd.v
+    (Cmd.info "equiv" ~doc:"Sequential equivalence check")
+    Term.(const run $ circuit_arg $ circuit_b $ bits_arg "init-a" $ bits_arg "init-b")
+
+let () =
+  let doc = "SAT all-solutions preimage computation (DATE 2004 reproduction)" in
+  let info = Cmd.info "preimage_cli" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            suite_cmd; info_cmd; preimage_cmd; reach_cmd; allsat_cmd; bmc_cmd;
+            atpg_cmd; prove_cmd; equiv_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/allsat_dimacs.ml: Array Format Fun List Ps_allsat Ps_sat Sys

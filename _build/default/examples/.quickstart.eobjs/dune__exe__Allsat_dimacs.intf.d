@@ -1,0 +1,1 @@
+examples/allsat_dimacs.mli:

@@ -1,0 +1,1 @@
+examples/equivalence.ml: Array Format List Preimage Ps_circuit Ps_gen String

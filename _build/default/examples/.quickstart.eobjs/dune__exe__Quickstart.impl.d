@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Preimage Ps_allsat Ps_circuit Ps_gen Ps_util String

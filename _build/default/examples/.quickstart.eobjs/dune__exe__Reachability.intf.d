@@ -1,0 +1,1 @@
+examples/reachability.mli:

@@ -1,0 +1,1 @@
+examples/safety.ml: Array Format List Preimage Ps_allsat Ps_circuit Ps_gen

@@ -1,0 +1,1 @@
+examples/testgen.ml: Array Format Fun List Printf Ps_allsat Ps_circuit Ps_sat

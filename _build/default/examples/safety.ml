@@ -1,0 +1,83 @@
+(* Safety checking, three ways.
+
+   Property: "the mod-10 counter, started at 0, never presents a value
+   >= 10" — i.e. the bad states {10..15} are unreachable from the
+   initial state. We verify this with:
+
+   1. backward reachability: init ∉ Pre*(bad);
+   2. forward reachability: Img*(init) ∩ bad = ∅;
+   3. and, for a deliberately broken variant (the plain 4-bit counter,
+      where the property FAILS), a counterexample input trace extracted
+      from the backward layers and replayed on the simulator.
+
+   The universal preimage also makes a cameo: the states from which the
+   counter is *doomed* to hit the target next cycle, whatever the inputs.
+
+   Run with: dune exec examples/safety.exe *)
+
+module Rh = Preimage.Reach
+module Img = Preimage.Image
+module T = Ps_gen.Targets
+module Sim = Ps_circuit.Sim
+
+let bad_states ~bits ~threshold =
+  (* all state values >= threshold, as cubes via minimization *)
+  let cubes = ref [] in
+  for v = threshold to (1 lsl bits) - 1 do
+    cubes := List.hd (T.value ~bits v) :: !cubes
+  done;
+  Ps_allsat.Cube_set.minimize !cubes
+
+let verdict name ok = Format.printf "  %-34s %s@." name (if ok then "SAFE" else "UNSAFE")
+
+let () =
+  let bits = 4 in
+  let bad = bad_states ~bits ~threshold:10 in
+  let init = Array.make bits false in
+
+  Format.printf "Property: mod-10 counter never reaches a value >= 10@.";
+  let good = Ps_gen.Counters.modulo ~bits ~m:10 () in
+
+  (* 1. backward *)
+  let bwd = Rh.backward good bad in
+  verdict "backward reachability" (not (Rh.mem bwd init));
+
+  (* 2. forward *)
+  let ctx = Img.create good in
+  let fwd = Img.forward_reach ctx ~init:(T.value ~bits 0) in
+  verdict "forward reachability"
+    (not (Img.intersects ctx fwd.Img.reached (Img.of_cubes ctx bad)));
+  Format.printf "  (forward reachable set: %g states in %d steps)@.@."
+    fwd.Img.total_states fwd.Img.steps;
+
+  (* 3. the broken design: a plain binary counter overflows past 9 *)
+  Format.printf "Broken variant: plain 4-bit counter with the same property@.";
+  let broken = Ps_gen.Counters.binary ~bits () in
+  let bwd = Rh.backward broken bad in
+  verdict "backward reachability" (not (Rh.mem bwd init));
+  (match Rh.trace bwd broken ~from:init with
+  | None -> Format.printf "  (no counterexample — unexpected!)@."
+  | Some inputs ->
+    Format.printf "  counterexample (%d cycles):@." (List.length inputs);
+    let state = ref init in
+    List.iteri
+      (fun t iv ->
+        let _, next = Sim.step broken ~inputs:iv ~state:!state in
+        state := next;
+        let value =
+          Array.to_list next
+          |> List.mapi (fun i b -> if b then 1 lsl i else 0)
+          |> List.fold_left ( + ) 0
+        in
+        Format.printf "    cycle %2d: en=%b -> state %d@." t iv.(0) value)
+      inputs;
+    Format.printf "  replay confirms violation: %b@."
+      (T.mem bad !state));
+
+  (* universal preimage cameo *)
+  let uni = Preimage.Universal.preimage broken bad in
+  Format.printf "@.States doomed to be bad next cycle whatever en does: %g@."
+    uni.Preimage.Universal.count;
+  List.iter
+    (fun c -> Format.printf "  %a@." Ps_allsat.Cube.pp c)
+    uni.Preimage.Universal.cubes

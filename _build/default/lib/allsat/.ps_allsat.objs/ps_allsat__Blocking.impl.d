@@ -1,0 +1,1 @@
+lib/allsat/blocking.ml: Array Cube List Project Ps_sat Ps_util Solution_graph

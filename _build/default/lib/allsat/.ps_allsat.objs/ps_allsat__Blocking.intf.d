@@ -1,0 +1,1 @@
+lib/allsat/blocking.mli: Cube Project Ps_sat Ps_util Solution_graph

@@ -1,0 +1,1 @@
+lib/allsat/cnf_lift.ml: Array Hashtbl List Option Project Ps_sat

@@ -1,0 +1,1 @@
+lib/allsat/cnf_lift.mli: Project Ps_sat

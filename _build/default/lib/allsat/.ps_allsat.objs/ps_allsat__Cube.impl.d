@@ -1,0 +1,1 @@
+lib/allsat/cube.ml: Array Bytes Format Fun List Printf String

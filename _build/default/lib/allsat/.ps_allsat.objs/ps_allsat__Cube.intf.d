@@ -1,0 +1,1 @@
+lib/allsat/cube.mli: Format

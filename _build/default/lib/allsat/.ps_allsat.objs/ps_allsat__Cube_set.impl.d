@@ -1,0 +1,1 @@
+lib/allsat/cube_set.ml: Array Cube List Solution_graph

@@ -1,0 +1,1 @@
+lib/allsat/cube_set.mli: Cube

@@ -1,0 +1,1 @@
+lib/allsat/lifting.ml: Array List Ps_circuit

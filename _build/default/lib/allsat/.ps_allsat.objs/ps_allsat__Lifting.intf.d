@@ -1,0 +1,1 @@
+lib/allsat/lifting.mli: Ps_circuit

@@ -1,0 +1,1 @@
+lib/allsat/project.ml: Array Cube Format List Printf Ps_sat

@@ -1,0 +1,1 @@
+lib/allsat/project.mli: Cube Format Ps_sat

@@ -1,0 +1,1 @@
+lib/allsat/sds.ml: Array Buffer Hashtbl List Ps_circuit Ps_sat Ps_util Solution_graph

@@ -1,0 +1,1 @@
+lib/allsat/sds.mli: Ps_circuit Ps_sat Ps_util Solution_graph

@@ -1,0 +1,1 @@
+lib/allsat/solution_graph.ml: Array Bytes Cube Format Hashtbl List Ps_bdd

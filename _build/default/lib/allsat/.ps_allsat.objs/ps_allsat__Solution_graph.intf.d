@@ -1,0 +1,1 @@
+lib/allsat/solution_graph.mli: Cube Format Ps_bdd

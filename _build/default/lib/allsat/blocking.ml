@@ -1,0 +1,62 @@
+module Solver = Ps_sat.Solver
+module Stats = Ps_util.Stats
+
+type result = {
+  cubes : Cube.t list;
+  sat_calls : int;
+  complete : bool;
+  stats : Stats.t;
+}
+
+let enumerate ?limit ?lift solver proj =
+  let stats = Stats.create () in
+  let cubes = ref [] in
+  let n_cubes = ref 0 in
+  let sat_calls = ref 0 in
+  let complete = ref true in
+  let under_limit () = match limit with None -> true | Some l -> !n_cubes < l in
+  let running = ref true in
+  while !running do
+    if not (under_limit ()) then begin
+      complete := false;
+      running := false
+    end
+    else begin
+      incr sat_calls;
+      match Solver.solve solver with
+      | Solver.Unsat -> running := false
+      | Solver.Sat ->
+        let model = Solver.model solver in
+        let full = Project.cube_of_model proj model in
+        let cube =
+          match lift with
+          | None -> full
+          | Some lift ->
+            let mask = lift model in
+            if Array.length mask <> Project.width proj then
+              invalid_arg "Blocking.enumerate: lift mask has wrong width";
+            let bits = Array.map (fun v -> model.(v)) proj.Project.vars in
+            Cube.of_masked_assignment bits mask
+        in
+        cubes := cube :: !cubes;
+        incr n_cubes;
+        Stats.add stats "fixed_literals" (Cube.num_fixed cube);
+        let clause = Project.blocking_clause proj cube in
+        if clause = [] then
+          (* The whole projected space is one cube: nothing left. *)
+          running := false
+        else if not (Solver.add_clause solver clause) then running := false
+    end
+  done;
+  Stats.add stats "cubes" !n_cubes;
+  Stats.add stats "sat_calls" !sat_calls;
+  Stats.merge ~into:stats (Solver.stats solver);
+  { cubes = List.rev !cubes; sat_calls = !sat_calls; complete = !complete; stats }
+
+let total_minterms r =
+  List.fold_left (fun acc c -> acc +. Cube.minterm_count c) 0.0 r.cubes
+
+let to_graph man r =
+  List.fold_left
+    (fun acc c -> Solution_graph.union acc (Solution_graph.of_cube man c))
+    (Solution_graph.zero man) r.cubes

@@ -1,0 +1,47 @@
+(** All-solutions enumeration by blocking clauses — the classical baseline.
+
+    Repeatedly: solve; read the projected assignment out of the model;
+    optionally enlarge it into a cube via a lifting callback; add the
+    cube's negation as a permanent clause; continue until UNSAT.
+
+    Without lifting, the enumerated cubes are the projected {e minterms},
+    pairwise disjoint, and the clause database grows by one clause per
+    solution — the blow-up the paper's solution graph avoids. With
+    lifting, each blocking clause prunes [2^free] solutions; cubes may
+    overlap but their union is exactly the projected solution set. *)
+
+type result = {
+  cubes : Cube.t list;          (** in discovery order *)
+  sat_calls : int;              (** solver invocations (last one UNSAT) *)
+  complete : bool;              (** [false] when [limit] stopped it *)
+  stats : Ps_util.Stats.t;      (** enumeration + solver counters *)
+}
+
+(** [enumerate ?limit ?lift solver proj] drains all solutions of the
+    clauses already loaded in [solver], projected onto [proj].
+
+    [lift model] must return a mask over projection positions — the
+    positions to keep fixed (the rest become don't-cares). It must be
+    {e sound}: every minterm of the resulting cube must extend to a model.
+    Omitting it yields minterm enumeration.
+
+    [limit] bounds the number of cubes (guard against exponential
+    enumerations); the result is then marked incomplete.
+
+    The solver is left unsatisfiable (all solutions blocked) unless the
+    limit was hit. *)
+val enumerate :
+  ?limit:int ->
+  ?lift:(bool array -> bool array) ->
+  Ps_sat.Solver.t ->
+  Project.t ->
+  result
+
+(** [total_minterms r] is the number of projected solutions when the
+    cubes are disjoint (minterm enumeration); for lifted (overlapping)
+    cubes it is an upper bound. *)
+val total_minterms : result -> float
+
+(** [to_graph man r] accumulates the cubes into a solution graph (exact
+    union, so overlap is resolved). *)
+val to_graph : Solution_graph.man -> result -> Solution_graph.t

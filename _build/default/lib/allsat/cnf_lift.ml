@@ -1,0 +1,61 @@
+module Cnf = Ps_sat.Cnf
+module Lit = Ps_sat.Lit
+
+let make cnf proj =
+  (* position of each projected variable, -1 for non-projected *)
+  let pos_of_var = Array.make (max cnf.Cnf.nvars 1) (-1) in
+  Array.iteri (fun i v -> pos_of_var.(v) <- i) proj.Project.vars;
+  let clauses = Array.of_list cnf.Cnf.clauses in
+  fun model ->
+    let w = Project.width proj in
+    (* Clauses not satisfied by any non-projected literal: collect their
+       satisfying projected positions. *)
+    let constrained = ref [] in
+    Array.iter
+      (fun clause ->
+        let free_sat = ref false in
+        let proj_sat = ref [] in
+        Array.iter
+          (fun l ->
+            let v = Lit.var l in
+            if v < Array.length model && model.(v) = Lit.sign l then begin
+              if pos_of_var.(v) >= 0 then proj_sat := pos_of_var.(v) :: !proj_sat
+              else free_sat := true
+            end)
+          clause;
+        if not !free_sat then constrained := !proj_sat :: !constrained)
+      clauses;
+    let mask = Array.make w false in
+    (* Greedy hitting set: repeatedly keep the position covering the most
+       uncovered clauses. *)
+    let uncovered =
+      ref (List.filter (fun ps -> not (List.exists (fun p -> mask.(p)) ps)) !constrained)
+    in
+    while !uncovered <> [] do
+      let counts = Hashtbl.create 16 in
+      List.iter
+        (fun ps ->
+          List.iter
+            (fun p ->
+              let c = Option.value ~default:0 (Hashtbl.find_opt counts p) in
+              Hashtbl.replace counts p (c + 1))
+            ps)
+        !uncovered;
+      let best =
+        Hashtbl.fold
+          (fun p c acc ->
+            match acc with
+            | Some (_, c') when c' >= c -> acc
+            | _ -> Some (p, c))
+          counts None
+      in
+      (match best with
+      | Some (p, _) -> mask.(p) <- true
+      | None ->
+        (* a constrained clause with no projected satisfying literal can
+           only mean the model does not satisfy the formula *)
+        invalid_arg "Cnf_lift: model does not satisfy the formula");
+      uncovered :=
+        List.filter (fun ps -> not (List.exists (fun p -> mask.(p)) ps)) !uncovered
+    done;
+    mask

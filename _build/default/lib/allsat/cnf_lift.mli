@@ -1,0 +1,17 @@
+(** Cube enlargement for pure CNF (no circuit structure).
+
+    The clause-analysis counterpart of {!Lifting}: given a model, a
+    projected variable may be freed when every clause stays satisfied by
+    a literal that is either non-projected (held at its model value) or a
+    projected literal that remains fixed. Computing the minimum set of
+    kept literals is a hitting-set problem; this module uses the standard
+    greedy approximation (keep the projected literal covering the most
+    still-uncovered clauses).
+
+    Soundness invariant (property-tested): every minterm of the resulting
+    cube extends to a model of the formula. *)
+
+(** [make cnf proj] precomputes occurrence structure and returns the
+    lifting callback for {!Blocking.enumerate}: [lift model] is the mask
+    over projection positions to keep fixed. *)
+val make : Ps_sat.Cnf.t -> Project.t -> bool array -> bool array

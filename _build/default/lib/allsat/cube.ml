@@ -1,0 +1,108 @@
+type value = True | False | DontCare
+
+(* Encoded as a string for cheap equality/hashing: '1', '0', '-'. *)
+type t = string
+
+let chr = function True -> '1' | False -> '0' | DontCare -> '-'
+
+let value_of_chr = function
+  | '1' -> True
+  | '0' -> False
+  | '-' -> DontCare
+  | c -> invalid_arg (Printf.sprintf "Cube: bad char %c" c)
+
+let make width = String.make width '-'
+
+let width = String.length
+
+let get c i = value_of_chr c.[i]
+
+let set c i v =
+  let b = Bytes.of_string c in
+  Bytes.set b i (chr v);
+  Bytes.to_string b
+
+let of_assignment bits =
+  String.init (Array.length bits) (fun i -> if bits.(i) then '1' else '0')
+
+let of_masked_assignment bits mask =
+  if Array.length bits <> Array.length mask then
+    invalid_arg "Cube.of_masked_assignment: length mismatch";
+  String.init (Array.length bits) (fun i ->
+      if mask.(i) then if bits.(i) then '1' else '0' else '-')
+
+let num_fixed c =
+  String.fold_left (fun n ch -> if ch = '-' then n else n + 1) 0 c
+
+let num_free c = width c - num_fixed c
+
+let minterm_count c = 2.0 ** float_of_int (num_free c)
+
+let contains c bits =
+  if Array.length bits <> width c then invalid_arg "Cube.contains: width mismatch";
+  let ok = ref true in
+  String.iteri
+    (fun i ch ->
+      match ch with
+      | '1' -> if not bits.(i) then ok := false
+      | '0' -> if bits.(i) then ok := false
+      | _ -> ())
+    c;
+  !ok
+
+let subsumes a b =
+  if width a <> width b then invalid_arg "Cube.subsumes: width mismatch";
+  let ok = ref true in
+  String.iteri
+    (fun i ch -> if ch <> '-' && ch <> b.[i] then ok := false)
+    a;
+  !ok
+
+let intersects a b =
+  if width a <> width b then invalid_arg "Cube.intersects: width mismatch";
+  let ok = ref true in
+  String.iteri
+    (fun i ch ->
+      let bc = b.[i] in
+      if ch <> '-' && bc <> '-' && ch <> bc then ok := false)
+    a;
+  !ok
+
+let to_list c =
+  let acc = ref [] in
+  String.iteri
+    (fun i ch ->
+      match ch with
+      | '1' -> acc := (i, true) :: !acc
+      | '0' -> acc := (i, false) :: !acc
+      | _ -> ())
+    c;
+  List.rev !acc
+
+let iter_minterms c f =
+  let free =
+    List.filteri (fun _ _ -> true) (List.init (width c) Fun.id)
+    |> List.filter (fun i -> c.[i] = '-')
+  in
+  let nfree = List.length free in
+  if nfree > 22 then invalid_arg "Cube.iter_minterms: too many free positions";
+  let bits = Array.make (max (width c) 1) false in
+  String.iteri (fun i ch -> bits.(i) <- ch = '1') c;
+  for code = 0 to (1 lsl nfree) - 1 do
+    List.iteri (fun k i -> bits.(i) <- (code lsr k) land 1 = 1) free;
+    f (Array.copy bits)
+  done
+
+let of_string s =
+  String.map
+    (function
+      | '1' -> '1'
+      | '0' -> '0'
+      | '-' | 'X' | 'x' -> '-'
+      | c -> invalid_arg (Printf.sprintf "Cube.of_string: bad char %c" c))
+    s
+
+let equal = String.equal
+let compare = String.compare
+let to_string c = c
+let pp ppf c = Format.pp_print_string ppf c

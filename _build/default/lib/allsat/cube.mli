@@ -1,0 +1,64 @@
+(** Cubes over a projected variable space.
+
+    A cube is a partial assignment of the projection variables
+    [0 .. width-1]: each position is true, false, or don't-care. Cubes are
+    the output currency of the blocking-clause engines (one cube per
+    enumerated solution, enlarged by lifting) and the path language of the
+    solution graph. *)
+
+type value = True | False | DontCare
+
+type t
+
+(** [make width] is the all-don't-care cube. *)
+val make : int -> t
+
+val width : t -> int
+val get : t -> int -> value
+val set : t -> int -> value -> t
+
+(** [of_assignment bits] is the full cube fixing every position. *)
+val of_assignment : bool array -> t
+
+(** [of_masked_assignment bits mask] fixes position [i] to [bits.(i)]
+    where [mask.(i)], don't-care elsewhere. *)
+val of_masked_assignment : bool array -> bool array -> t
+
+(** [num_fixed c] is the number of non-don't-care positions. *)
+val num_fixed : t -> int
+
+(** [num_free c] is [width c - num_fixed c]. *)
+val num_free : t -> int
+
+(** [minterm_count c] is [2. ** num_free c]. *)
+val minterm_count : t -> float
+
+(** [contains c bits] — is the total assignment [bits] in the cube? *)
+val contains : t -> bool array -> bool
+
+(** [subsumes a b] — does [a] contain every minterm of [b]? *)
+val subsumes : t -> t -> bool
+
+(** [intersects a b] — do the cubes share a minterm? *)
+val intersects : t -> t -> bool
+
+(** [to_list c] is the list of (position, value) fixed literals. *)
+val to_list : t -> (int * bool) list
+
+(** [iter_minterms c f] enumerates the total assignments in [c]
+    (exponential in [num_free c]; raises [Invalid_argument] beyond 22
+    free positions). *)
+val iter_minterms : t -> (bool array -> unit) -> unit
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** [pp] prints positional notation, e.g. [1-0X] is printed as [10X] with
+    [-] for don't-care: ["1-0"]. *)
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+(** [of_string s] parses positional notation: ['0'], ['1'], ['-'] (or
+    ['X']) per position. Raises [Invalid_argument] on other characters. *)
+val of_string : string -> t

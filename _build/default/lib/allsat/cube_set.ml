@@ -1,0 +1,82 @@
+let reduce cubes =
+  let rec keep acc = function
+    | [] -> List.rev acc
+    | c :: rest ->
+      let subsumed_by other = (not (Cube.equal other c)) && Cube.subsumes other c in
+      if List.exists subsumed_by acc || List.exists subsumed_by rest then
+        keep acc rest
+      else keep (c :: acc) rest
+  in
+  (* dedupe first so identical cubes don't protect each other *)
+  let cubes = List.sort_uniq Cube.compare cubes in
+  keep [] cubes
+
+(* Two cubes merge when they agree everywhere except exactly one position
+   where both are fixed with opposite values. *)
+let try_merge a b =
+  if Cube.width a <> Cube.width b then None
+  else begin
+    let diff = ref [] in
+    let ok = ref true in
+    for i = 0 to Cube.width a - 1 do
+      let va = Cube.get a i and vb = Cube.get b i in
+      if va <> vb then begin
+        match (va, vb) with
+        | Cube.True, Cube.False | Cube.False, Cube.True -> diff := i :: !diff
+        | _ -> ok := false
+      end
+    done;
+    match (!ok, !diff) with
+    | true, [ i ] -> Some (Cube.set a i Cube.DontCare)
+    | _ -> None
+  end
+
+let merge_pass cubes =
+  let arr = Array.of_list cubes in
+  let used = Array.make (Array.length arr) false in
+  let out = ref [] in
+  for i = 0 to Array.length arr - 1 do
+    if not used.(i) then begin
+      let merged = ref None in
+      (try
+         for j = i + 1 to Array.length arr - 1 do
+           if not used.(j) then begin
+             match try_merge arr.(i) arr.(j) with
+             | Some m ->
+               merged := Some m;
+               used.(j) <- true;
+               raise Exit
+             | None -> ()
+           end
+         done
+       with Exit -> ());
+      match !merged with
+      | Some m -> out := m :: !out
+      | None -> out := arr.(i) :: !out
+    end
+  done;
+  List.rev !out
+
+let rec minimize cubes =
+  let next = reduce (merge_pass cubes) in
+  if List.length next = List.length cubes && List.sort_uniq Cube.compare next = List.sort_uniq Cube.compare cubes
+  then next
+  else minimize next
+
+let union_count width cubes =
+  let man = Solution_graph.new_man ~width in
+  let g =
+    List.fold_left
+      (fun acc c -> Solution_graph.union acc (Solution_graph.of_cube man c))
+      (Solution_graph.zero man) cubes
+  in
+  Solution_graph.count_models g
+
+let equal_union width a b =
+  let man = Solution_graph.new_man ~width in
+  let build cubes =
+    List.fold_left
+      (fun acc c -> Solution_graph.union acc (Solution_graph.of_cube man c))
+      (Solution_graph.zero man) cubes
+  in
+  Solution_graph.equal (build a) (build b)

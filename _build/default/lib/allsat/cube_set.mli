@@ -1,0 +1,28 @@
+(** Cube-list post-processing: subsumption removal and adjacency merging.
+
+    The blocking engines emit cubes in discovery order; this module
+    shrinks such lists without changing the union (the invariant the
+    property tests enforce):
+
+    - {e subsumption}: drop any cube contained in another;
+    - {e merging}: two cubes identical except for one position where they
+      hold opposite values combine into one cube with a don't-care there
+      (the distance-1 case of the consensus rule), iterated to fixpoint.
+
+    This is a light-weight two-level minimizer in the espresso spirit —
+    enough to quantify how far from minimal the enumerated cover is. *)
+
+(** [reduce cubes] removes subsumed cubes (keeps first occurrences). *)
+val reduce : Cube.t list -> Cube.t list
+
+(** [merge_pass cubes] performs one pass of distance-1 merging. *)
+val merge_pass : Cube.t list -> Cube.t list
+
+(** [minimize cubes] iterates merge + reduce to a fixpoint. *)
+val minimize : Cube.t list -> Cube.t list
+
+(** [union_count width cubes] is the exact size of the union. *)
+val union_count : int -> Cube.t list -> float
+
+(** [equal_union width a b] — do two cube lists denote the same set? *)
+val equal_union : int -> Cube.t list -> Cube.t list -> bool

@@ -1,0 +1,59 @@
+module N = Ps_circuit.Netlist
+module G = Ps_circuit.Gate
+
+(* For AND/NAND the controlling input value is false; for OR/NOR true.
+   When the gate output shows the controlled result, one controlling
+   fanin justifies it. *)
+let controlling_value = function
+  | G.And | G.Nand -> Some false
+  | G.Or | G.Nor -> Some true
+  | G.Xor | G.Xnor | G.Not | G.Buf | G.Const0 | G.Const1 -> None
+
+(* Output value a gate takes when a controlling input is present. *)
+let controlled_output = function
+  | G.And -> false
+  | G.Nand -> true
+  | G.Or -> true
+  | G.Nor -> false
+  | G.Xor | G.Xnor | G.Not | G.Buf | G.Const0 | G.Const1 ->
+    invalid_arg "Lifting: gate has no controlling value"
+
+let justify n ~root ~values =
+  if Array.length values < N.num_nets n then
+    invalid_arg "Lifting.justify: values too short";
+  let visited = Array.make (N.num_nets n) false in
+  let required = Array.make (N.num_nets n) false in
+  let rec visit net =
+    if not visited.(net) then begin
+      visited.(net) <- true;
+      match N.driver n net with
+      | N.Input | N.Latch _ -> required.(net) <- true
+      | N.Gate (kind, fanins) -> (
+        match controlling_value kind with
+        | Some cv when values.(net) = controlled_output kind ->
+          (* One controlling fanin suffices; prefer one already visited so
+             justifications share leaves across gates. *)
+          let candidates = ref [] in
+          Array.iter
+            (fun f -> if values.(f) = cv then candidates := f :: !candidates)
+            fanins;
+          (match List.find_opt (fun f -> visited.(f)) !candidates with
+          | Some f -> visit f
+          | None -> (
+            match !candidates with
+            | f :: _ -> visit f
+            | [] ->
+              (* values is inconsistent with the netlist *)
+              invalid_arg "Lifting.justify: values are not a valid simulation"))
+        | Some _ | None ->
+          (* Non-controlled case (or parity/unary/constant): every fanin
+             participates in the value. *)
+          Array.iter visit fanins)
+    end
+  in
+  visit root;
+  required
+
+let lift_mask n ~root ~values ~proj_nets =
+  let required = justify n ~root ~values in
+  Array.map (fun net -> required.(net)) proj_nets

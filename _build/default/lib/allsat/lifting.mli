@@ -1,0 +1,34 @@
+(** Cube enlargement by circuit justification.
+
+    After the solver finds a satisfying assignment, many of the projected
+    variables are irrelevant: the objective is already justified by a
+    subset of the leaf values. [justify] walks the constraint cone
+    backwards from the satisfied root, keeping for each gate only a
+    minimal set of fanins that force its value — one controlling fanin
+    when the gate output is at its controlled value (choosing an
+    already-required fanin when possible, to maximize sharing), all
+    fanins otherwise. The unreached leaves are don't-cares: the
+    enumerated minterm enlarges into a cube, and one short blocking
+    clause prunes [2^(free)] solutions at once.
+
+    Soundness invariant (property-tested): freezing the required leaves
+    at their model values and varying every other leaf arbitrarily keeps
+    the root at its model value. *)
+
+(** [justify n ~root ~values] returns a membership array over nets: the
+    leaves (inputs and latch outputs) that the justification requires.
+    [values] must be a consistent simulation of [n] (e.g. from
+    {!Ps_circuit.Sim.eval}); [root] is the net whose value is being
+    justified (any value — justification works for 0 and 1 roots).
+    Only leaf positions are meaningful in the result. *)
+val justify : Ps_circuit.Netlist.t -> root:int -> values:bool array -> bool array
+
+(** [lift_mask n ~root ~values ~proj_nets] is the justification projected
+    onto the given nets: [mask.(i) = true] iff [proj_nets.(i)] is
+    required. *)
+val lift_mask :
+  Ps_circuit.Netlist.t ->
+  root:int ->
+  values:bool array ->
+  proj_nets:int array ->
+  bool array

@@ -1,0 +1,36 @@
+module Lit = Ps_sat.Lit
+
+type t = {
+  vars : Lit.var array;
+  names : string array;
+}
+
+let make ~vars ~names =
+  if Array.length vars <> Array.length names then
+    invalid_arg "Project.make: vars/names length mismatch";
+  { vars; names }
+
+let of_vars vars =
+  { vars; names = Array.mapi (fun i _ -> Printf.sprintf "v%d" i) vars }
+
+let width t = Array.length t.vars
+
+let lits_of_cube t c =
+  if Cube.width c <> width t then invalid_arg "Project.lits_of_cube: width mismatch";
+  Cube.to_list c |> List.map (fun (i, v) -> Lit.make t.vars.(i) v)
+
+let blocking_clause t c = List.map Lit.negate (lits_of_cube t c)
+
+let cube_of_model t model =
+  Cube.of_assignment (Array.map (fun v -> model.(v)) t.vars)
+
+let pp_cube t ppf c =
+  let lits = Cube.to_list c in
+  if lits = [] then Format.pp_print_string ppf "(true)"
+  else
+    Format.fprintf ppf "@[<h>%a@]"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " & ")
+         (fun ppf (i, v) ->
+           Format.fprintf ppf "%s%s" (if v then "" else "!") t.names.(i)))
+      lits

@@ -1,0 +1,31 @@
+(** Projection spec: the variables an all-solutions query enumerates over.
+
+    All-SAT engines compute the set of assignments of the {e projection
+    variables} that extend to a model of the formula — for preimage
+    computation, the present-state variables (and optionally the inputs).
+    A projection fixes the enumeration order: position [i] of every cube
+    and level [i] of the solution graph refer to [vars.(i)]. *)
+
+type t = {
+  vars : Ps_sat.Lit.var array;  (** CNF variables, in enumeration order *)
+  names : string array;         (** display names, same order *)
+}
+
+val make : vars:Ps_sat.Lit.var array -> names:string array -> t
+
+(** [of_vars vs] uses ["v<i>"] names. *)
+val of_vars : Ps_sat.Lit.var array -> t
+
+val width : t -> int
+
+(** [lits_of_cube p c] is the literal list fixing the cube's positions. *)
+val lits_of_cube : t -> Cube.t -> Ps_sat.Lit.t list
+
+(** [blocking_clause p c] is the clause forbidding every minterm of [c]. *)
+val blocking_clause : t -> Cube.t -> Ps_sat.Lit.t list
+
+(** [cube_of_model p model] reads the projection positions out of a full
+    solver model. *)
+val cube_of_model : t -> bool array -> Cube.t
+
+val pp_cube : t -> Format.formatter -> Cube.t -> unit

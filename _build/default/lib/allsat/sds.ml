@@ -1,0 +1,170 @@
+module N = Ps_circuit.Netlist
+module G = Ps_circuit.Gate
+module Sim = Ps_circuit.Sim
+module Solver = Ps_sat.Solver
+module Lit = Ps_sat.Lit
+module Stats = Ps_util.Stats
+module Sg = Solution_graph
+
+type decision = Static | Dynamic
+
+type config = {
+  use_memo : bool;
+  use_sat : bool;
+  decision : decision;
+}
+
+let default_config = { use_memo = true; use_sat = true; decision = Static }
+
+type result = {
+  graph : Sg.t;
+  man : Sg.man;
+  stats : Stats.t;
+}
+
+let tri_char = function G.F -> '0' | G.T -> '1' | G.X -> 'x'
+
+let search ?(config = default_config) ~netlist ~root ~proj_nets ~solver () =
+  let n = Array.length proj_nets in
+  let nnets = N.num_nets netlist in
+  Array.iter
+    (fun net ->
+      if net < 0 || net >= nnets then invalid_arg "Sds.search: bad projection net")
+    proj_nets;
+  let pos_of_net = Array.make nnets (-1) in
+  Array.iteri (fun i net -> pos_of_net.(net) <- i) proj_nets;
+  let man = Sg.new_man ~width:n in
+  let stats = Stats.create () in
+  let env = Array.make nnets G.X in
+  let values = Array.make nnets G.X in
+  (* Justification-frontier signature: the residual solution set below a
+     search node is determined by the sub-DAG of X-valued gates still
+     observable from the root, together with the values of their
+     immediate fanins. The DFS serializes exactly that — nets whose value
+     can no longer reach the root (e.g. behind a controlling input) are
+     excluded, so residual-equivalent nodes produced by different
+     prefixes collide in the memo table. This is the success-driven
+     learning of the paper.
+
+     As a by-product the DFS reports the first still-X projected leaf it
+     meets — the [Dynamic] decision heuristic: branch on a variable the
+     objective can still see (any variable outside the frontier is a
+     don't-care here). With dynamic decisions the graph is a {e free}
+     BDD (per-path variable orders), which is exactly the
+     representation the original solver built from its search tree. *)
+  let visited = Array.make nnets (-1) in
+  let visit_epoch = ref 0 in
+  let sig_buf = Buffer.create 256 in
+  let candidate = ref (-1) in
+  let signature () =
+    incr visit_epoch;
+    let epoch = !visit_epoch in
+    Buffer.clear sig_buf;
+    candidate := -1;
+    let rec mark net =
+      if visited.(net) <> epoch then begin
+        visited.(net) <- epoch;
+        let v = values.(net) in
+        Buffer.add_string sig_buf (string_of_int net);
+        Buffer.add_char sig_buf (tri_char v);
+        if v = G.X then begin
+          match N.driver netlist net with
+          | N.Gate (_, fanins) -> Array.iter mark fanins
+          | N.Input | N.Latch _ ->
+            if !candidate = -1 && pos_of_net.(net) >= 0 then candidate := net
+        end
+      end
+    in
+    mark root;
+    Buffer.contents sig_buf
+  in
+  (* Static keys include the depth (the branch variable is a function of
+     the depth); dynamic keys are the signature alone (the branch
+     variable is a function of the signature), which shares subgraphs
+     across depths too. *)
+  let memo : (int * string, Sg.t) Hashtbl.t = Hashtbl.create 1024 in
+  let assumption_stack = ref [] in
+  let n_search_nodes = ref 0 in
+  let n_memo_hits = ref 0 in
+  let n_ternary = ref 0 in
+  let n_sat_calls = ref 0 in
+  let n_unsat_prunes = ref 0 in
+  let sat_probe () =
+    incr n_sat_calls;
+    Solver.solve ~assumptions:!assumption_stack solver
+  in
+  let branch net k recurse =
+    let pos = pos_of_net.(net) in
+    env.(net) <- G.F;
+    assumption_stack := Lit.neg net :: !assumption_stack;
+    let lo = recurse (k + 1) in
+    env.(net) <- G.T;
+    assumption_stack := Lit.pos net :: List.tl !assumption_stack;
+    let hi = recurse (k + 1) in
+    env.(net) <- G.X;
+    assumption_stack := List.tl !assumption_stack;
+    Sg.mk man ~level:pos ~lo ~hi
+  in
+  let rec go k =
+    incr n_search_nodes;
+    Sim.eval3_into netlist ~env ~values;
+    match values.(root) with
+    | G.T ->
+      incr n_ternary;
+      Sg.one man
+    | G.F ->
+      incr n_ternary;
+      Sg.zero man
+    | G.X ->
+      let sig_ = signature () in
+      let branch_net =
+        match config.decision with
+        | Static -> if k = n then -1 else proj_nets.(k)
+        | Dynamic -> !candidate
+      in
+      let key =
+        if config.use_memo then
+          Some ((match config.decision with Static -> k | Dynamic -> -1), sig_)
+        else None
+      in
+      let cached =
+        match key with Some key -> Hashtbl.find_opt memo key | None -> None
+      in
+      (match cached with
+      | Some node ->
+        incr n_memo_hits;
+        node
+      | None ->
+        let node =
+          if branch_net = -1 then begin
+            (* No projected variable can influence the objective anymore:
+               the remaining question is purely over the unprojected
+               inputs — one satisfiability probe decides the subtree. *)
+            match sat_probe () with
+            | Solver.Sat -> Sg.one man
+            | Solver.Unsat ->
+              incr n_unsat_prunes;
+              Sg.zero man
+          end
+          else if
+            config.use_sat
+            && (match sat_probe () with
+               | Solver.Unsat ->
+                 incr n_unsat_prunes;
+                 true
+               | Solver.Sat -> false)
+          then Sg.zero man
+          else branch branch_net k go
+        in
+        (match key with Some key -> Hashtbl.add memo key node | None -> ());
+        node)
+  in
+  let graph = go 0 in
+  Stats.add stats "search_nodes" !n_search_nodes;
+  Stats.add stats "memo_hits" !n_memo_hits;
+  Stats.add stats "ternary_decides" !n_ternary;
+  Stats.add stats "sat_calls" !n_sat_calls;
+  Stats.add stats "unsat_prunes" !n_unsat_prunes;
+  Stats.add stats "graph_nodes" (Sg.size graph);
+  Stats.merge ~into:stats (Solver.stats solver);
+  { graph; man; stats }

@@ -1,0 +1,68 @@
+(** Success-driven search: the paper's all-solutions engine.
+
+    A depth-first search over the projection variables in a fixed order
+    that never adds a blocking clause. At each node (a prefix assignment
+    of the projection):
+
+    + {b Three-valued simulation} of the constraint cone decides the whole
+      subtree when the objective is already forced to 0 or 1 — forced-1
+      subtrees contribute a full don't-care subcube in O(1).
+    + {b Success-driven learning}: the ternary value vector of the cone is
+      the node's {e signature}; since the residual solution set is a
+      function of the signature alone, a signature seen before (at the
+      same depth) returns the previously built solution subgraph without
+      any search. This is what collapses the search {e tree} into a
+      solution {e graph}.
+    + A {b CDCL oracle} call (under the prefix as assumptions) refutes
+      unsatisfiable subtrees immediately; its learnt clauses persist, so
+      successive probes get cheaper.
+
+    The result is the hash-consed {!Solution_graph} of all projected
+    solutions. *)
+
+(** Decision-variable selection. [Static] follows the projection order;
+    [Dynamic] branches on the first still-X projected variable of the
+    justification frontier — variables the objective cannot see are
+    skipped outright, and the result is a {e free} BDD (per-path
+    orders), the representation the original solver built from its
+    search tree. With [Dynamic], memoization is keyed on the signature
+    alone and shares subgraphs across depths. *)
+type decision = Static | Dynamic
+
+type config = {
+  use_memo : bool;
+      (** success-driven learning (signature memoization); off = plain
+          DPLL enumeration, for the ablation experiment *)
+  use_sat : bool;
+      (** CDCL pruning at internal nodes; nodes whose objective no
+          longer sees any projected variable always consult the solver *)
+  decision : decision;
+}
+
+val default_config : config
+
+type result = {
+  graph : Solution_graph.t;
+  man : Solution_graph.man;
+  stats : Ps_util.Stats.t;
+      (** ["search_nodes"], ["memo_hits"], ["ternary_decides"],
+          ["sat_calls"], ["unsat_prunes"], ["graph_nodes"] + solver
+          counters *)
+}
+
+(** [search ~netlist ~root ~proj_nets ~solver ()] enumerates all
+    assignments of [proj_nets] (in the given order) that extend to an
+    assignment of the remaining inputs making net [root] true.
+
+    [solver] must already contain the Tseitin encoding of (at least) the
+    cone of [root] with net-as-variable mapping ({!Ps_circuit.Tseitin}),
+    plus the unit clause asserting [root]. The solver accumulates learnt
+    clauses but no blocking clauses; it remains reusable afterwards. *)
+val search :
+  ?config:config ->
+  netlist:Ps_circuit.Netlist.t ->
+  root:int ->
+  proj_nets:int array ->
+  solver:Ps_sat.Solver.t ->
+  unit ->
+  result

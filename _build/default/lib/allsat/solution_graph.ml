@@ -1,0 +1,249 @@
+type t = {
+  id : int;
+  level : int;                        (* terminals: max_int *)
+  lo : t;
+  hi : t;
+  man : man;
+}
+
+and man = {
+  w : int;
+  unique : (int * int * int, t) Hashtbl.t;
+  mutable next_id : int;
+  mutable zero_n : t;
+  mutable one_n : t;
+  cache_union : (int * int, t) Hashtbl.t;
+  cache_inter : (int * int, t) Hashtbl.t;
+}
+
+let terminal_level = max_int
+
+let new_man ~width =
+  if width < 0 then invalid_arg "Solution_graph.new_man";
+  let rec man =
+    {
+      w = width;
+      unique = Hashtbl.create 1024;
+      next_id = 2;
+      zero_n = zero;
+      one_n = one;
+      cache_union = Hashtbl.create 256;
+      cache_inter = Hashtbl.create 256;
+    }
+  and zero = { id = 0; level = terminal_level; lo = zero; hi = zero; man }
+  and one = { id = 1; level = terminal_level; lo = one; hi = one; man } in
+  man
+
+let width m = m.w
+let num_nodes m = Hashtbl.length m.unique
+let zero m = m.zero_n
+let one m = m.one_n
+let is_zero f = f.id = 0
+let is_one f = f.id = 1
+let is_terminal f = f.id < 2
+let equal a b = a == b
+
+let mk m ~level ~lo ~hi =
+  if level < 0 || level >= m.w then invalid_arg "Solution_graph.mk: bad level";
+  if lo.man != m || hi.man != m then
+    invalid_arg "Solution_graph.mk: child from another manager";
+  if lo == hi then lo
+  else begin
+    let key = (level, lo.id, hi.id) in
+    match Hashtbl.find_opt m.unique key with
+    | Some n -> n
+    | None ->
+      let n = { id = m.next_id; level; lo; hi; man = m } in
+      m.next_id <- m.next_id + 1;
+      Hashtbl.add m.unique key n;
+      n
+  end
+
+let cofactor f l = if f.level = l then (f.lo, f.hi) else (f, f)
+
+let rec union a b =
+  if a.man != b.man then invalid_arg "Solution_graph.union: manager mismatch";
+  let m = a.man in
+  if a == b then a
+  else if is_one a || is_one b then m.one_n
+  else if is_zero a then b
+  else if is_zero b then a
+  else begin
+    let key = if a.id < b.id then (a.id, b.id) else (b.id, a.id) in
+    match Hashtbl.find_opt m.cache_union key with
+    | Some r -> r
+    | None ->
+      let l = min a.level b.level in
+      let a0, a1 = cofactor a l and b0, b1 = cofactor b l in
+      let r = mk m ~level:l ~lo:(union a0 b0) ~hi:(union a1 b1) in
+      Hashtbl.add m.cache_union key r;
+      r
+  end
+
+let rec inter a b =
+  if a.man != b.man then invalid_arg "Solution_graph.inter: manager mismatch";
+  let m = a.man in
+  if a == b then a
+  else if is_zero a || is_zero b then m.zero_n
+  else if is_one a then b
+  else if is_one b then a
+  else begin
+    let key = if a.id < b.id then (a.id, b.id) else (b.id, a.id) in
+    match Hashtbl.find_opt m.cache_inter key with
+    | Some r -> r
+    | None ->
+      let l = min a.level b.level in
+      let a0, a1 = cofactor a l and b0, b1 = cofactor b l in
+      let r = mk m ~level:l ~lo:(inter a0 b0) ~hi:(inter a1 b1) in
+      Hashtbl.add m.cache_inter key r;
+      r
+  end
+
+let of_cube m c =
+  if Cube.width c <> m.w then invalid_arg "Solution_graph.of_cube: width mismatch";
+  (* Build bottom-up from the highest fixed level. *)
+  let node = ref m.one_n in
+  for i = m.w - 1 downto 0 do
+    match Cube.get c i with
+    | Cube.True -> node := mk m ~level:i ~lo:m.zero_n ~hi:!node
+    | Cube.False -> node := mk m ~level:i ~lo:!node ~hi:m.zero_n
+    | Cube.DontCare -> ()
+  done;
+  !node
+
+let size f =
+  let seen = Hashtbl.create 64 in
+  let rec go f =
+    if not (Hashtbl.mem seen f.id) then begin
+      Hashtbl.add seen f.id ();
+      if not (is_terminal f) then begin
+        go f.lo;
+        go f.hi
+      end
+    end
+  in
+  go f;
+  Hashtbl.length seen
+
+let count_models f =
+  let m = f.man in
+  let cache = Hashtbl.create 64 in
+  let level_of f = if is_terminal f then m.w else f.level in
+  let rec go f =
+    if is_zero f then 0.0
+    else if is_one f then 1.0
+    else begin
+      match Hashtbl.find_opt cache f.id with
+      | Some c -> c
+      | None ->
+        let branch child =
+          go child *. (2.0 ** float_of_int (level_of child - f.level - 1))
+        in
+        let c = branch f.lo +. branch f.hi in
+        Hashtbl.add cache f.id c;
+        c
+    end
+  in
+  go f *. (2.0 ** float_of_int (level_of f))
+
+let count_models_paths f =
+  (* iter_cubes visits each 1-path once and paths are disjoint *)
+  let total = ref 0.0 in
+  let m = f.man in
+  let rec go f depth =
+    if is_one f then total := !total +. (2.0 ** float_of_int (m.w - depth))
+    else if not (is_zero f) then begin
+      go f.lo (depth + 1);
+      go f.hi (depth + 1)
+    end
+  in
+  go f 0;
+  !total
+
+let iter_cubes f k =
+  let m = f.man in
+  let acc = Bytes.make (max m.w 1) '-' in
+  let rec go f =
+    if is_one f then k (Cube.of_string (Bytes.sub_string acc 0 m.w))
+    else if not (is_zero f) then begin
+      Bytes.set acc f.level '0';
+      go f.lo;
+      Bytes.set acc f.level '1';
+      go f.hi;
+      Bytes.set acc f.level '-'
+    end
+  in
+  go f
+
+let cubes f =
+  let acc = ref [] in
+  iter_cubes f (fun c -> acc := c :: !acc);
+  List.rev !acc
+
+let mem f bits =
+  let rec go f =
+    if is_one f then true
+    else if is_zero f then false
+    else if bits.(f.level) then go f.hi
+    else go f.lo
+  in
+  if Array.length bits <> f.man.w then invalid_arg "Solution_graph.mem: width mismatch";
+  go f
+
+let to_bdd bman vars f =
+  if Array.length vars <> f.man.w then
+    invalid_arg "Solution_graph.to_bdd: vars length mismatch";
+  let cache = Hashtbl.create 256 in
+  let module B = Ps_bdd.Bdd in
+  let rec go f =
+    if is_zero f then B.zero bman
+    else if is_one f then B.one bman
+    else begin
+      match Hashtbl.find_opt cache f.id with
+      | Some r -> r
+      | None ->
+        let v = B.var bman vars.(f.level) in
+        let r = B.ite v (go f.hi) (go f.lo) in
+        Hashtbl.add cache f.id r;
+        r
+    end
+  in
+  go f
+
+let to_bdd_unordered = to_bdd
+
+let of_bdd m f ~vars =
+  let module B = Ps_bdd.Bdd in
+  if Array.length vars <> m.w then
+    invalid_arg "Solution_graph.of_bdd: vars length mismatch";
+  (* level_of_var: inverse of vars *)
+  let level_of = Hashtbl.create 16 in
+  Array.iteri (fun i v -> Hashtbl.add level_of v i) vars;
+  let cache = Hashtbl.create 256 in
+  let rec go f =
+    if B.is_zero f then m.zero_n
+    else if B.is_one f then m.one_n
+    else begin
+      match Hashtbl.find_opt cache (B.id f) with
+      | Some r -> r
+      | None ->
+        let v = match B.topvar f with Some v -> v | None -> assert false in
+        let lvl =
+          match Hashtbl.find_opt level_of v with
+          | Some l -> l
+          | None -> invalid_arg "Solution_graph.of_bdd: support outside vars"
+        in
+        let lo = go (B.low f) in
+        let hi = go (B.high f) in
+        let r = mk m ~level:lvl ~lo ~hi in
+        Hashtbl.add cache (B.id f) r;
+        r
+    end
+  in
+  go f
+
+let pp ppf f =
+  if is_zero f then Format.pp_print_string ppf "empty"
+  else if is_one f then Format.pp_print_string ppf "all"
+  else
+    Format.fprintf ppf "<sgraph nodes=%d solutions=%g>" (size f) (count_models f)

@@ -1,0 +1,89 @@
+(** The solution graph: the paper's compact all-solutions representation.
+
+    Instead of materializing one blocking clause (or one cube) per
+    solution, the success-driven searcher folds its search tree into a
+    hash-consed, reduced, ordered decision graph over the projection
+    variables — node [(v, lo, hi)] reads "if variable [v] then solutions
+    [hi] else solutions [lo]", with don't-care levels skipped by
+    reduction. Equivalent subtrees discovered by success-driven learning
+    point at the same node, so the graph is typically exponentially
+    smaller than the solution list.
+
+    Structurally this is an ROBDD over the projection space; the test
+    suite exploits that by checking isomorphism against {!Ps_bdd.Bdd}. *)
+
+type man
+type t
+
+(** [new_man ~width] creates a manager for graphs over projection
+    positions [0 .. width-1]. *)
+val new_man : width:int -> man
+
+val width : man -> int
+
+(** [num_nodes m] is the number of internal nodes ever hash-consed — the
+    paper's memory metric for the solution representation. *)
+val num_nodes : man -> int
+
+val zero : man -> t
+val one : man -> t
+val is_zero : t -> bool
+val is_one : t -> bool
+val equal : t -> t -> bool
+
+(** [mk m ~level ~lo ~hi] is the reduced, hash-consed node. *)
+val mk : man -> level:int -> lo:t -> hi:t -> t
+
+(** [union a b] is the solution-set union (used to accumulate cube
+    enumerations into a graph for comparison). *)
+val union : t -> t -> t
+
+(** [inter a b] is the solution-set intersection. *)
+val inter : t -> t -> t
+
+(** [of_cube m c] is the graph of one cube. *)
+val of_cube : man -> Cube.t -> t
+
+(** [size f] is the number of nodes reachable from [f] (terminals
+    included). *)
+val size : t -> int
+
+(** [count_models f] is the number of projected assignments in the
+    solution set (don't-care levels multiply), as float. Requires an
+    {e ordered} graph (levels increase along every path) — the static
+    searcher and every cube-built graph satisfy this; for free graphs
+    (dynamic decisions) use {!count_models_paths}. *)
+val count_models : t -> float
+
+(** [count_models_paths f] counts by path enumeration — linear in the
+    number of 1-paths instead of the node count, but correct for
+    {e free} graphs too (each path tests a variable at most once). *)
+val count_models_paths : t -> float
+
+(** [iter_cubes f k] calls [k] per path to the 1-terminal; paths are
+    disjoint cubes covering exactly the solution set. *)
+val iter_cubes : t -> (Cube.t -> unit) -> unit
+
+(** [cubes f] collects {!iter_cubes}. *)
+val cubes : t -> Cube.t list
+
+(** [mem f bits] — does the total projected assignment belong to the
+    solution set? *)
+val mem : t -> bool array -> bool
+
+(** [to_bdd bman vars f] converts into a {!Ps_bdd.Bdd} over [bman],
+    mapping level [i] to BDD variable [vars.(i)]. The conversion is
+    ITE-based, so any injective mapping gives the correct function;
+    strictly increasing [vars] additionally makes it linear-time. *)
+val to_bdd : Ps_bdd.Bdd.man -> int array -> t -> Ps_bdd.Bdd.t
+
+(** [to_bdd_unordered] is {!to_bdd} under a name documenting that the
+    mapping need not be monotone (used for reordered projections). *)
+val to_bdd_unordered : Ps_bdd.Bdd.man -> int array -> t -> Ps_bdd.Bdd.t
+
+(** [of_bdd m f ~vars] converts a BDD whose support is within [vars]
+    (strictly increasing) into a solution graph, mapping BDD variable
+    [vars.(i)] to level [i]. *)
+val of_bdd : man -> Ps_bdd.Bdd.t -> vars:int array -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/bdd/bdd.ml: Array Format Hashtbl List

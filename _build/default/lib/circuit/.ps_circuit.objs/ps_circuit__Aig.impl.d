@@ -1,0 +1,1 @@
+lib/circuit/aig.ml: Array Builder Gate Hashtbl Lazy List Netlist Ps_sat Ps_util

@@ -1,0 +1,1 @@
+lib/circuit/aig.mli: Netlist Ps_sat

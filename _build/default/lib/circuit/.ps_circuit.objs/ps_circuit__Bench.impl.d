@@ -1,0 +1,1 @@
+lib/circuit/bench.ml: Array Buffer Fun Gate Hashtbl List Netlist Option Printf Ps_util String

@@ -1,0 +1,1 @@
+lib/circuit/bench.mli: Netlist

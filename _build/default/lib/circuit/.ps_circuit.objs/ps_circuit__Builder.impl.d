@@ -1,0 +1,1 @@
+lib/circuit/builder.ml: Array Gate Hashtbl List Netlist Printf Ps_util

@@ -1,0 +1,1 @@
+lib/circuit/builder.mli: Gate Netlist

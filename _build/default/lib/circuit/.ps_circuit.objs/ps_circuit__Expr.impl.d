@@ -1,0 +1,1 @@
+lib/circuit/expr.ml: Builder Format Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/circuit/expr.mli: Builder Format Netlist

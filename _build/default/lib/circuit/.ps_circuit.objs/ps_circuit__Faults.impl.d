@@ -1,0 +1,1 @@
+lib/circuit/faults.ml: Array Builder Gate Hashtbl List Netlist Sim

@@ -1,0 +1,1 @@
+lib/circuit/faults.mli: Netlist

@@ -1,0 +1,1 @@
+lib/circuit/gate.ml: Array Format Fun Printf String

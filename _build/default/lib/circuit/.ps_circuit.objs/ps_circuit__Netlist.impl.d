@@ -1,0 +1,1 @@
+lib/circuit/netlist.ml: Array Format Gate Hashtbl List Printf

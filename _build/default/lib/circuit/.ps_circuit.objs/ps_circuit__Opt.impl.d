@@ -1,0 +1,1 @@
+lib/circuit/opt.ml: Aig Array Builder Fun Gate Hashtbl List Netlist Option String

@@ -1,0 +1,1 @@
+lib/circuit/sim.ml: Array Gate List Netlist

@@ -1,0 +1,1 @@
+lib/circuit/transition.mli: Netlist

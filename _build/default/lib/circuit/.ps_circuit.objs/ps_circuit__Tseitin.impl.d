@@ -1,0 +1,1 @@
+lib/circuit/tseitin.ml: Array Gate List Netlist Ps_sat

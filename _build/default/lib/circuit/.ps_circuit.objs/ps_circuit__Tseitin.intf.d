@@ -1,0 +1,1 @@
+lib/circuit/tseitin.mli: Netlist Ps_sat

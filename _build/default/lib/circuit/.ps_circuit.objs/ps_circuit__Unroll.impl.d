@@ -1,0 +1,1 @@
+lib/circuit/unroll.ml: Array Builder Netlist Printf

@@ -1,0 +1,1 @@
+lib/circuit/unroll.mli: Netlist

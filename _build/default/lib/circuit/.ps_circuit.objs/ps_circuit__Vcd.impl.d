@@ -1,0 +1,1 @@
+lib/circuit/vcd.ml: Array Buffer Char Fun List Netlist Printf Sim String

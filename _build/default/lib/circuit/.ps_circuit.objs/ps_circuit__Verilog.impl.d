@@ -1,0 +1,1 @@
+lib/circuit/verilog.ml: Array Buffer Fun Gate Hashtbl List Netlist Printf Ps_util String

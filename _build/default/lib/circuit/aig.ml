@@ -1,0 +1,220 @@
+module Vec = Ps_util.Vec
+
+type lit = int
+
+(* Node storage: node i has fanin literals lit0.(i), lit1.(i).
+   Node 0 is the constant false. Inputs have lit0 = -1. *)
+type t = {
+  lit0 : lit Vec.t;
+  lit1 : lit Vec.t;
+  strash : (int * int, lit) Hashtbl.t;
+  mutable inputs : int list; (* reversed allocation order *)
+}
+
+let false_lit = 0
+let true_lit = 1
+
+let neg l = l lxor 1
+let is_complemented l = l land 1 = 1
+let node_of l = l lsr 1
+
+let create () =
+  let a =
+    {
+      lit0 = Vec.create ~dummy:(-2);
+      lit1 = Vec.create ~dummy:(-2);
+      strash = Hashtbl.create 1024;
+      inputs = [];
+    }
+  in
+  (* constant node *)
+  Vec.push a.lit0 (-2);
+  Vec.push a.lit1 (-2);
+  a
+
+let new_node a l0 l1 =
+  Vec.push a.lit0 l0;
+  Vec.push a.lit1 l1;
+  2 * (Vec.size a.lit0 - 1)
+
+let fresh_input a =
+  let l = new_node a (-1) (-1) in
+  a.inputs <- node_of l :: a.inputs;
+  l
+
+let is_input a n = n <> 0 && Vec.get a.lit0 n = -1
+
+let conj a x y =
+  let x, y = if x <= y then (x, y) else (y, x) in
+  if x = false_lit then false_lit
+  else if x = true_lit then y
+  else if x = y then x
+  else if x = neg y then false_lit
+  else begin
+    match Hashtbl.find_opt a.strash (x, y) with
+    | Some l -> l
+    | None ->
+      let l = new_node a x y in
+      Hashtbl.add a.strash (x, y) l;
+      l
+  end
+
+let disj a x y = neg (conj a (neg x) (neg y))
+
+let xor a x y =
+  (* x xor y = (x ∨ y) ∧ ¬(x ∧ y) *)
+  conj a (disj a x y) (neg (conj a x y))
+
+let mux a ~sel ~if1 ~if0 = disj a (conj a sel if1) (conj a (neg sel) if0)
+
+let rec balanced op a = function
+  | [] -> invalid_arg "Aig: empty literal list"
+  | [ l ] -> l
+  | ls ->
+    let rec pair acc = function
+      | [] -> List.rev acc
+      | [ l ] -> List.rev (l :: acc)
+      | x :: y :: rest -> pair (op a x y :: acc) rest
+    in
+    balanced op a (pair [] ls)
+
+let conj_list a = function [] -> true_lit | ls -> balanced conj a ls
+let disj_list a = function [] -> false_lit | ls -> balanced disj a ls
+
+let num_nodes a =
+  let n = ref 0 in
+  for i = 1 to Vec.size a.lit0 - 1 do
+    if not (is_input a i) then incr n
+  done;
+  !n
+
+let num_inputs a = List.length a.inputs
+
+let eval a assignment l =
+  let values = Array.make (Vec.size a.lit0) false in
+  let input_index = Hashtbl.create 16 in
+  List.iteri
+    (fun i n -> Hashtbl.add input_index n i)
+    (List.rev a.inputs);
+  for n = 1 to Vec.size a.lit0 - 1 do
+    if is_input a n then begin
+      let i = Hashtbl.find input_index n in
+      if i >= Array.length assignment then invalid_arg "Aig.eval: assignment too short";
+      values.(n) <- assignment.(i)
+    end
+    else begin
+      let v l = values.(node_of l) <> is_complemented l in
+      values.(n) <- v (Vec.get a.lit0 n) && v (Vec.get a.lit1 n)
+    end
+  done;
+  values.(node_of l) <> is_complemented l
+
+let of_netlist n =
+  let a = create () in
+  let lits = Array.make (Netlist.num_nets n) false_lit in
+  List.iter (fun net -> lits.(net) <- fresh_input a) (Netlist.inputs n);
+  List.iter (fun net -> lits.(net) <- fresh_input a) (Netlist.latches n);
+  Array.iter
+    (fun gnet ->
+      match Netlist.driver n gnet with
+      | Netlist.Gate (kind, fanins) ->
+        let ins = Array.to_list (Array.map (fun f -> lits.(f)) fanins) in
+        lits.(gnet) <-
+          (match (kind : Gate.kind) with
+          | Gate.And -> conj_list a ins
+          | Gate.Nand -> neg (conj_list a ins)
+          | Gate.Or -> disj_list a ins
+          | Gate.Nor -> neg (disj_list a ins)
+          | Gate.Xor -> List.fold_left (xor a) false_lit ins
+          | Gate.Xnor -> neg (List.fold_left (xor a) false_lit ins)
+          | Gate.Not -> neg (List.hd ins)
+          | Gate.Buf -> List.hd ins
+          | Gate.Const0 -> false_lit
+          | Gate.Const1 -> true_lit)
+      | Netlist.Input | Netlist.Latch _ -> assert false)
+    (Netlist.topo_gates n);
+  (a, lits)
+
+let lit_to_sat l = l (* identical encoding: 2*node (+1 for complement) *)
+
+let to_cnf a roots =
+  let module Cnf = Ps_sat.Cnf in
+  let module L = Ps_sat.Lit in
+  let visited = Hashtbl.create 256 in
+  let clauses = ref [ [ L.neg 0 ] ] (* constant node is false *) in
+  let rec visit n =
+    if n <> 0 && (not (is_input a n)) && not (Hashtbl.mem visited n) then begin
+      Hashtbl.add visited n ();
+      let l0 = Vec.get a.lit0 n and l1 = Vec.get a.lit1 n in
+      visit (node_of l0);
+      visit (node_of l1);
+      let y = L.pos n in
+      let s0 = lit_to_sat l0 and s1 = lit_to_sat l1 in
+      (* y = s0 & s1 *)
+      clauses :=
+        [ L.negate y; s0 ]
+        :: [ L.negate y; s1 ]
+        :: [ y; L.negate s0; L.negate s1 ]
+        :: !clauses
+    end
+  in
+  List.iter (fun l -> visit (node_of l)) roots;
+  Cnf.of_clauses ~nvars:(Vec.size a.lit0) !clauses
+
+let support a l =
+  let seen = Hashtbl.create 64 in
+  let acc = Hashtbl.create 16 in
+  let rec go n =
+    if n <> 0 && not (Hashtbl.mem seen n) then begin
+      Hashtbl.add seen n ();
+      if is_input a n then Hashtbl.replace acc n ()
+      else begin
+        go (node_of (Vec.get a.lit0 n));
+        go (node_of (Vec.get a.lit1 n))
+      end
+    end
+  in
+  go (node_of l);
+  Hashtbl.fold (fun n () l -> n :: l) acc [] |> List.sort compare
+
+let to_netlist a ~inputs ~outputs =
+  if Array.length inputs <> num_inputs a then
+    invalid_arg "Aig.to_netlist: wrong number of input names";
+  let b = Builder.create () in
+  (* net of each AIG node's positive literal, built on demand *)
+  let node_net = Hashtbl.create 64 in
+  let const0 = lazy (Builder.const0 b ~name:"_aig_const0" ()) in
+  List.iteri
+    (fun i n -> Hashtbl.replace node_net n (Builder.input b inputs.(i)))
+    (List.rev a.inputs);
+  let inverters = Hashtbl.create 64 in
+  let rec net_of_node n =
+    if n = 0 then Lazy.force const0
+    else begin
+      match Hashtbl.find_opt node_net n with
+      | Some net -> net
+      | None ->
+        let f0 = net_of_lit (Vec.get a.lit0 n) in
+        let f1 = net_of_lit (Vec.get a.lit1 n) in
+        let net = Builder.and_ b [ f0; f1 ] in
+        Hashtbl.replace node_net n net;
+        net
+    end
+  and net_of_lit l =
+    let base = net_of_node (node_of l) in
+    if not (is_complemented l) then base
+    else begin
+      match Hashtbl.find_opt inverters base with
+      | Some net -> net
+      | None ->
+        let net = Builder.not_ b base in
+        Hashtbl.replace inverters base net;
+        net
+    end
+  in
+  List.iter
+    (fun (name, l) ->
+      let net = Builder.buf b ~name (net_of_lit l) in
+      Builder.output b net)
+    outputs;
+  Builder.finalize b

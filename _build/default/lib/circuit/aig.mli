@@ -1,0 +1,82 @@
+(** And-Inverter Graphs.
+
+    The normalized circuit representation used by modern equivalence
+    checkers and SAT front ends: two-input AND nodes with complemented
+    edges, structurally hashed so syntactically equal subfunctions share
+    one node. Here it serves as (a) a technology-independent size metric
+    (Table 1), (b) an alternative, often smaller CNF encoding of a
+    netlist cone, and (c) a fast simulation substrate.
+
+    A {e literal} packs a node index and a complement bit ([2*node] /
+    [2*node + 1]), mirroring {!Ps_sat.Lit}. Node 0 is the constant
+    [false] (literal [0]), so literal [1] is constant [true]. *)
+
+type t
+type lit = int
+
+val create : unit -> t
+
+(** [true_lit] / [false_lit] — the constant literals. *)
+val true_lit : lit
+
+val false_lit : lit
+
+(** [fresh_input a] allocates a primary-input node and returns its
+    positive literal. *)
+val fresh_input : t -> lit
+
+(** [neg l] complements a literal; [is_complemented l]; [node_of l]. *)
+val neg : lit -> lit
+
+val is_complemented : lit -> bool
+val node_of : lit -> int
+
+(** [conj a x y] is the structurally hashed AND of two literals, with
+    the standard simplifications (constants, idempotence, complements). *)
+val conj : t -> lit -> lit -> lit
+
+val disj : t -> lit -> lit -> lit
+val xor : t -> lit -> lit -> lit
+val mux : t -> sel:lit -> if1:lit -> if0:lit -> lit
+
+(** [conj_list a ls] / [disj_list a ls] — balanced n-ary forms. *)
+val conj_list : t -> lit list -> lit
+
+val disj_list : t -> lit list -> lit
+
+(** [num_nodes a] is the number of AND nodes (inputs and the constant
+    excluded) — the standard AIG size metric. *)
+val num_nodes : t -> int
+
+val num_inputs : t -> int
+
+(** [eval a assignment l] evaluates literal [l]; [assignment] maps input
+    nodes (in allocation order) to values. *)
+val eval : t -> bool array -> lit -> bool
+
+(** [of_netlist n] converts a netlist's combinational core. Inputs and
+    latch outputs become AIG inputs (in [Netlist.inputs n @
+    Netlist.latches n] order); returns the AIG and the literal of every
+    net. *)
+val of_netlist : Netlist.t -> t * lit array
+
+(** [to_cnf a roots] Tseitin-encodes the cones of [roots]: one CNF
+    variable per AIG node ([var = node index]); the constant node is
+    constrained. Returns the CNF; [lit_to_sat] maps an AIG literal to
+    the corresponding solver literal. *)
+val to_cnf : t -> lit list -> Ps_sat.Cnf.t
+
+val lit_to_sat : lit -> Ps_sat.Lit.t
+
+(** [support a l] is the set of input nodes the literal's cone reads,
+    as a sorted list. *)
+val support : t -> lit -> int list
+
+(** [to_netlist a ~inputs ~outputs] converts back to a gate netlist over
+    AND/NOT/BUF/constants: [inputs] names the AIG inputs (allocation
+    order, must cover them all), [outputs] names the root literals.
+    Inverted edges become explicit NOT gates (shared). Together with
+    {!of_netlist} this is the structural-hashing rewrite used by
+    {!Opt.restructure}. *)
+val to_netlist :
+  t -> inputs:string array -> outputs:(string * lit) list -> Netlist.t

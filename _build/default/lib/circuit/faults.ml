@@ -1,0 +1,83 @@
+type fault = {
+  net : int;
+  stuck_at : bool;
+}
+
+let inject n fault =
+  if fault.net < 0 || fault.net >= Netlist.num_nets n then
+    invalid_arg "Faults.inject: net out of range";
+  let drivers =
+    Array.init (Netlist.num_nets n) (fun i ->
+        if i = fault.net then
+          Netlist.Gate ((if fault.stuck_at then Gate.Const1 else Gate.Const0), [||])
+        else Netlist.driver n i)
+  in
+  let names = Array.init (Netlist.num_nets n) (Netlist.name n) in
+  Netlist.make ~drivers ~names ~outputs:(Netlist.outputs n)
+
+let all_faults n =
+  let acc = ref [] in
+  for net = Netlist.num_nets n - 1 downto 0 do
+    match Netlist.driver n net with
+    | Netlist.Input | Netlist.Latch _ | Netlist.Gate _ ->
+      acc := { net; stuck_at = false } :: { net; stuck_at = true } :: !acc
+  done;
+  !acc
+
+(* Copy a circuit's combinational view into a builder, resolving leaves
+   (inputs and latch outputs) through [leaf]; returns output nets. *)
+let import b circuit ~leaf ~suffix =
+  let map = Array.make (Netlist.num_nets circuit) (-1) in
+  List.iter (fun net -> map.(net) <- leaf net) (Netlist.inputs circuit);
+  List.iter (fun net -> map.(net) <- leaf net) (Netlist.latches circuit);
+  Array.iter
+    (fun gnet ->
+      match Netlist.driver circuit gnet with
+      | Netlist.Gate (kind, fanins) ->
+        let fanins' = Array.to_list (Array.map (fun f -> map.(f)) fanins) in
+        map.(gnet) <-
+          Builder.gate b ~name:(Netlist.name circuit gnet ^ suffix) kind fanins'
+      | Netlist.Input | Netlist.Latch _ -> assert false)
+    (Netlist.topo_gates circuit);
+  List.map (fun o -> map.(o)) (Netlist.outputs circuit)
+
+let miter a bnet =
+  let leaves n =
+    List.map (Netlist.name n) (Netlist.inputs n @ Netlist.latches n)
+  in
+  if List.length (Netlist.outputs a) <> List.length (Netlist.outputs bnet) then
+    invalid_arg "Faults.miter: output counts differ";
+  let b = Builder.create () in
+  let shared = Hashtbl.create 16 in
+  (* Share leaves by name over the union of the interfaces: a faulted
+     leaf disappears from one side and is then simply unused there. *)
+  List.iter
+    (fun name ->
+      if not (Hashtbl.mem shared name) then
+        Hashtbl.add shared name (Builder.input b name))
+    (leaves a @ leaves bnet);
+  let leaf_of circuit net = Hashtbl.find shared (Netlist.name circuit net) in
+  let outs_a = import b a ~leaf:(leaf_of a) ~suffix:"__good" in
+  let outs_b = import b bnet ~leaf:(leaf_of bnet) ~suffix:"__bad" in
+  let xors =
+    List.map2
+      (fun x y -> Builder.xor_ b [ x; y ])
+      outs_a outs_b
+  in
+  let top = Builder.or_ b ~name:"__miter" xors in
+  Builder.output b top;
+  (Builder.finalize b, top)
+
+let detects n fault ~inputs ~state =
+  let faulty = inject n fault in
+  (* [inject] preserves net indices, so one environment (indexed by the
+     original leaves) serves both circuits; a faulted leaf's entry is
+     simply overwritten by its constant driver during evaluation. *)
+  let env = Array.make (Netlist.num_nets n) false in
+  List.iteri (fun i net -> env.(net) <- inputs.(i)) (Netlist.inputs n);
+  List.iteri (fun i net -> env.(net) <- state.(i)) (Netlist.latches n);
+  let outputs circuit =
+    let values = Sim.eval circuit ~env in
+    List.map (fun o -> values.(o)) (Netlist.outputs circuit)
+  in
+  outputs n <> outputs faulty

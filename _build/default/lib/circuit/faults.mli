@@ -1,0 +1,38 @@
+(** Single stuck-at fault machinery.
+
+    The classical test-generation substrate: inject a stuck-at fault into
+    a copy of a circuit, build the miter against the fault-free original,
+    and the miter's satisfying input assignments are exactly the test
+    vectors detecting the fault — which turns complete test-set
+    generation into an all-solutions query (see [examples/testgen.ml]
+    and the ATPG property tests). *)
+
+type fault = {
+  net : int;          (** the faulty net in the original circuit *)
+  stuck_at : bool;
+}
+
+(** [inject n fault] is a copy of [n] where [fault.net]'s driver is
+    replaced by the constant; all other logic re-reads the constant.
+    Latch-output faults replace the latch by the constant (its data cone
+    stays, feeding nothing). The copy keeps [n]'s net names prefixed
+    with nothing (indices are preserved).
+    Raises [Invalid_argument] for an out-of-range net. *)
+val inject : Netlist.t -> fault -> Netlist.t
+
+(** [all_faults n] is every stuck-at-0/1 fault on gate and input nets of
+    the combinational core (latch outputs included; 2 faults per net). *)
+val all_faults : Netlist.t -> fault list
+
+(** [miter a b] builds the combinational miter of two circuits with
+    identical input names and output counts: shared inputs, XOR per
+    output pair, OR at the top. Latches are treated as pseudo-inputs
+    (shared as well, by name). Returns the miter and its output net.
+    Leaves are shared by name over the union of the two interfaces.
+    Raises [Invalid_argument] when output counts differ. *)
+val miter : Netlist.t -> Netlist.t -> Netlist.t * int
+
+(** [detects n fault ~inputs ~state] — does the vector distinguish the
+    faulty circuit from [n] on some output (single-cycle, combinational
+    observation)? *)
+val detects : Netlist.t -> fault -> inputs:bool array -> state:bool array -> bool

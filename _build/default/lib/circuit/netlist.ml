@@ -1,0 +1,138 @@
+type driver =
+  | Input
+  | Latch of { data : int; init : bool option }
+  | Gate of Gate.kind * int array
+
+type t = {
+  drivers : driver array;
+  names : string array;
+  name_index : (string, int) Hashtbl.t;
+  outputs : int list;
+  inputs : int list;
+  latches : int list;
+  topo : int array;                 (* gate nets, topological order *)
+  fanouts : int list array;
+}
+
+let num_nets t = Array.length t.drivers
+let driver t n = t.drivers.(n)
+let name t n = t.names.(n)
+let find t s = Hashtbl.find t.name_index s
+let find_opt t s = Hashtbl.find_opt t.name_index s
+let inputs t = t.inputs
+let latches t = t.latches
+let outputs t = t.outputs
+let topo_gates t = t.topo
+let num_gates t = Array.length t.topo
+let fanouts t = t.fanouts
+
+let latch_data t n =
+  match t.drivers.(n) with
+  | Latch { data; _ } -> data
+  | Input | Gate _ -> invalid_arg "Netlist.latch_data: not a latch"
+
+let validate drivers names outputs =
+  let n = Array.length drivers in
+  if Array.length names <> n then
+    invalid_arg "Netlist.make: names and drivers length mismatch";
+  let tbl = Hashtbl.create (2 * n) in
+  Array.iteri
+    (fun i nm ->
+      if nm = "" then invalid_arg (Printf.sprintf "Netlist.make: net %d unnamed" i);
+      if Hashtbl.mem tbl nm then
+        invalid_arg (Printf.sprintf "Netlist.make: duplicate name %S" nm);
+      Hashtbl.add tbl nm i)
+    names;
+  let check_net ctx j =
+    if j < 0 || j >= n then
+      invalid_arg (Printf.sprintf "Netlist.make: %s references invalid net %d" ctx j)
+  in
+  Array.iteri
+    (fun i d ->
+      match d with
+      | Input -> ()
+      | Latch { data; _ } -> check_net (Printf.sprintf "latch %S" names.(i)) data
+      | Gate (kind, fanins) ->
+        if not (Gate.arity_ok kind (Array.length fanins)) then
+          invalid_arg
+            (Printf.sprintf "Netlist.make: gate %S has bad arity %d" names.(i)
+               (Array.length fanins));
+        Array.iter (check_net (Printf.sprintf "gate %S" names.(i))) fanins)
+    drivers;
+  List.iter (check_net "outputs") outputs;
+  tbl
+
+(* Topological sort of the gate part; detects combinational cycles. *)
+let topo_sort drivers names =
+  let n = Array.length drivers in
+  let state = Array.make n 0 in (* 0 unvisited, 1 on stack, 2 done *)
+  let order = ref [] in
+  let rec visit i =
+    match drivers.(i) with
+    | Input | Latch _ -> state.(i) <- 2
+    | Gate (_, fanins) ->
+      if state.(i) = 1 then
+        invalid_arg
+          (Printf.sprintf "Netlist.make: combinational cycle through %S" names.(i));
+      if state.(i) = 0 then begin
+        state.(i) <- 1;
+        Array.iter visit fanins;
+        state.(i) <- 2;
+        order := i :: !order
+      end
+  in
+  for i = 0 to n - 1 do
+    if state.(i) = 0 then visit i
+  done;
+  Array.of_list (List.rev !order)
+
+let make ~drivers ~names ~outputs =
+  let name_index = validate drivers names outputs in
+  let topo = topo_sort drivers names in
+  let n = Array.length drivers in
+  let collect pred =
+    let acc = ref [] in
+    for i = n - 1 downto 0 do
+      if pred drivers.(i) then acc := i :: !acc
+    done;
+    !acc
+  in
+  let fanouts = Array.make n [] in
+  Array.iteri
+    (fun i d ->
+      match d with
+      | Gate (_, fanins) ->
+        Array.iter (fun j -> fanouts.(j) <- i :: fanouts.(j)) fanins
+      | Input | Latch _ -> ())
+    drivers;
+  Array.iteri (fun i l -> fanouts.(i) <- List.rev l) fanouts;
+  {
+    drivers = Array.copy drivers;
+    names = Array.copy names;
+    name_index;
+    outputs;
+    inputs = collect (function Input -> true | _ -> false);
+    latches = collect (function Latch _ -> true | _ -> false);
+    topo;
+    fanouts;
+  }
+
+let cone t roots =
+  let mem = Array.make (num_nets t) false in
+  let rec visit i =
+    if not mem.(i) then begin
+      mem.(i) <- true;
+      match t.drivers.(i) with
+      | Gate (_, fanins) -> Array.iter visit fanins
+      | Input | Latch _ -> ()
+    end
+  in
+  List.iter visit roots;
+  mem
+
+let stats t =
+  (List.length t.inputs, List.length t.latches, num_gates t, List.length t.outputs)
+
+let pp ppf t =
+  let i, l, g, o = stats t in
+  Format.fprintf ppf "<netlist inputs=%d latches=%d gates=%d outputs=%d>" i l g o

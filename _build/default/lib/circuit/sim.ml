@@ -1,0 +1,59 @@
+let eval n ~env =
+  let nnets = Netlist.num_nets n in
+  if Array.length env < nnets then invalid_arg "Sim.eval: env too short";
+  let values = Array.copy env in
+  Array.iter
+    (fun g ->
+      match Netlist.driver n g with
+      | Netlist.Gate (kind, fanins) ->
+        values.(g) <- Gate.eval kind (Array.map (fun f -> values.(f)) fanins)
+      | Netlist.Input | Netlist.Latch _ -> assert false)
+    (Netlist.topo_gates n);
+  values
+
+let eval3_into n ~env ~values =
+  let nnets = Netlist.num_nets n in
+  if Array.length env < nnets || Array.length values < nnets then
+    invalid_arg "Sim.eval3_into: arrays too short";
+  Array.blit env 0 values 0 nnets;
+  Array.iter
+    (fun g ->
+      match Netlist.driver n g with
+      | Netlist.Gate (kind, fanins) ->
+        values.(g) <- Gate.eval3 kind (Array.map (fun f -> values.(f)) fanins)
+      | Netlist.Input | Netlist.Latch _ -> assert false)
+    (Netlist.topo_gates n)
+
+let eval3 n ~env =
+  let values = Array.make (Netlist.num_nets n) Gate.X in
+  eval3_into n ~env ~values;
+  values
+
+let step n ~inputs ~state =
+  let input_nets = Netlist.inputs n in
+  let latch_nets = Netlist.latches n in
+  if Array.length inputs <> List.length input_nets then
+    invalid_arg "Sim.step: wrong number of inputs";
+  if Array.length state <> List.length latch_nets then
+    invalid_arg "Sim.step: wrong number of state bits";
+  let env = Array.make (Netlist.num_nets n) false in
+  List.iteri (fun i net -> env.(net) <- inputs.(i)) input_nets;
+  List.iteri (fun i net -> env.(net) <- state.(i)) latch_nets;
+  let values = eval n ~env in
+  let outputs =
+    Array.of_list (List.map (fun o -> values.(o)) (Netlist.outputs n))
+  in
+  let next_state =
+    Array.of_list
+      (List.map (fun l -> values.(Netlist.latch_data n l)) latch_nets)
+  in
+  (outputs, next_state)
+
+let run n ~state ~input_seq =
+  let current = ref state in
+  List.map
+    (fun inputs ->
+      let outputs, next = step n ~inputs ~state:!current in
+      current := next;
+      (outputs, next))
+    input_seq

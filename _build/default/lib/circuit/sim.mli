@@ -1,0 +1,35 @@
+(** Two-valued and three-valued netlist simulation.
+
+    An {e environment} assigns values to primary inputs and latch outputs
+    (present state); simulation evaluates every gate in topological order.
+    Three-valued simulation additionally admits X (unknown) on any leaf
+    and is the satisfaction/refutation detector inside the success-driven
+    searcher. *)
+
+(** [eval n ~env] evaluates all nets. [env.(net)] must hold the value of
+    every input and latch-output net; gate entries are ignored on entry.
+    Returns a fresh array with every net's value. *)
+val eval : Netlist.t -> env:bool array -> bool array
+
+(** [eval3 n ~env] is the 3-valued analogue; leaves may be [Gate.X]. *)
+val eval3 : Netlist.t -> env:Gate.tri array -> Gate.tri array
+
+(** [eval3_into n ~env ~values] is {!eval3} writing into the caller's
+    [values] array (leaf entries are copied from [env] first) — the
+    allocation-free form used in the searcher's inner loop. *)
+val eval3_into : Netlist.t -> env:Gate.tri array -> values:Gate.tri array -> unit
+
+(** [step n ~inputs ~state] runs one clock cycle: evaluates the
+    combinational logic under [inputs] (indexed like {!Netlist.inputs})
+    and [state] (indexed like {!Netlist.latches}), and returns
+    [(outputs, next_state)] in the same index spaces. *)
+val step :
+  Netlist.t -> inputs:bool array -> state:bool array -> bool array * bool array
+
+(** [run n ~state ~input_seq] simulates a sequence of input vectors from
+    [state], returning the output vector and state after each step. *)
+val run :
+  Netlist.t ->
+  state:bool array ->
+  input_seq:bool array list ->
+  (bool array * bool array) list

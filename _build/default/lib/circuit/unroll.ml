@@ -1,0 +1,53 @@
+type t = {
+  netlist : Netlist.t;
+  state0 : int array;
+  frame_inputs : int array array;
+  state_at : int array array;
+}
+
+let unroll n ~k =
+  if k < 1 then invalid_arg "Unroll.unroll: k must be >= 1";
+  let latches = Array.of_list (Netlist.latches n) in
+  let inputs = Array.of_list (Netlist.inputs n) in
+  if Array.length latches = 0 then invalid_arg "Unroll.unroll: no latches";
+  let b = Builder.create () in
+  let state0 =
+    Array.map (fun net -> Builder.input b (Netlist.name n net ^ "_f0")) latches
+  in
+  let nnets = Netlist.num_nets n in
+  (* net -> net-in-current-frame *)
+  let frame_map = Array.make nnets (-1) in
+  let frame_inputs = Array.make k [||] in
+  let state_at = Array.make (k + 1) [||] in
+  state_at.(0) <- state0;
+  for t = 0 to k - 1 do
+    let suffix net = Printf.sprintf "%s_f%d" (Netlist.name n net) t in
+    Array.fill frame_map 0 nnets (-1);
+    (* leaves of this frame *)
+    frame_inputs.(t) <-
+      Array.map (fun net -> Builder.input b (suffix net)) inputs;
+    Array.iteri (fun j net -> frame_map.(net) <- frame_inputs.(t).(j)) inputs;
+    Array.iteri (fun i net -> frame_map.(net) <- state_at.(t).(i)) latches;
+    (* gates in topological order *)
+    Array.iter
+      (fun gnet ->
+        match Netlist.driver n gnet with
+        | Netlist.Gate (kind, fanins) ->
+          let fanins' = Array.to_list (Array.map (fun f -> frame_map.(f)) fanins) in
+          frame_map.(gnet) <- Builder.gate b ~name:(suffix gnet) kind fanins'
+        | Netlist.Input | Netlist.Latch _ -> assert false)
+      (Netlist.topo_gates n);
+    (* the state entering the next frame = this frame's latch-data nets;
+       buffer them so every state bit has a dedicated named net even when
+       the data net is shared *)
+    state_at.(t + 1) <-
+      Array.map
+        (fun latch ->
+          let data = Netlist.latch_data n latch in
+          Builder.buf b
+            ~name:(Printf.sprintf "%s_f%d" (Netlist.name n latch) (t + 1))
+            frame_map.(data))
+        latches
+  done;
+  Array.iter (fun net -> Builder.output b net) state_at.(k);
+  { netlist = Builder.finalize b; state0; frame_inputs; state_at }

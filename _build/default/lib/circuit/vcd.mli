@@ -1,0 +1,24 @@
+(** Value-change-dump (VCD) waveform output.
+
+    Renders a simulation run — e.g. a BMC counterexample or a
+    reachability witness replayed through {!Sim.run} — as an IEEE-1364
+    VCD document that any waveform viewer (GTKWave etc.) opens. Only
+    1-bit scalar signals, one timescale unit per clock cycle. *)
+
+(** [of_run n ~state ~input_seq] simulates like {!Sim.run} and dumps
+    every net's waveform, one [#t] per cycle ([t] starting at 0, values
+    sampled before each cycle's update, plus a final sample of the
+    resulting state). *)
+val of_run :
+  Netlist.t ->
+  state:bool array ->
+  input_seq:bool array list ->
+  string
+
+(** [write_file path n ~state ~input_seq] — {!of_run} to a file. *)
+val write_file :
+  string ->
+  Netlist.t ->
+  state:bool array ->
+  input_seq:bool array list ->
+  unit

@@ -1,0 +1,1 @@
+lib/core/atpg.ml: Array Engine List Ps_allsat Ps_circuit Ps_sat Ps_util

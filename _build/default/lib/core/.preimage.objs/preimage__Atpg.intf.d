@@ -1,0 +1,1 @@
+lib/core/atpg.mli: Engine Ps_allsat Ps_circuit

@@ -1,0 +1,1 @@
+lib/core/bdd_engine.ml: Array Instance List Ps_allsat Ps_bdd Ps_circuit Unix

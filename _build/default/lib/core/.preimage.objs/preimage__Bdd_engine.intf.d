@@ -1,0 +1,1 @@
+lib/core/bdd_engine.mli: Instance Ps_bdd

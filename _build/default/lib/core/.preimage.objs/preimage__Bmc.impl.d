@@ -1,0 +1,1 @@
+lib/core/bmc.ml: Array Hashtbl List Printf Ps_allsat Ps_circuit Ps_sat

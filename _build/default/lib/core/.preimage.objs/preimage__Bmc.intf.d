@@ -1,0 +1,1 @@
+lib/core/bmc.mli: Ps_allsat Ps_circuit

@@ -1,0 +1,1 @@
+lib/core/check.ml: Array Bdd_engine Engine Fun Hashtbl Instance List Ps_allsat Ps_bdd Ps_circuit String

@@ -1,0 +1,1 @@
+lib/core/check.mli: Bdd_engine Engine Instance Ps_allsat Ps_bdd Ps_circuit Stdlib

@@ -1,0 +1,1 @@
+lib/core/engine.ml: Instance List Ps_allsat Ps_util Unix

@@ -1,0 +1,1 @@
+lib/core/engine.mli: Instance Ps_allsat Ps_util

@@ -1,0 +1,1 @@
+lib/core/image.ml: Array Fun List Ps_allsat Ps_bdd Ps_circuit

@@ -1,0 +1,1 @@
+lib/core/image.mli: Ps_allsat Ps_bdd Ps_circuit

@@ -1,0 +1,1 @@
+lib/core/induction.ml: Array Bmc Hashtbl List Printf Ps_allsat Ps_circuit Ps_sat

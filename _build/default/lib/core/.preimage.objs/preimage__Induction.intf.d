@@ -1,0 +1,1 @@
+lib/core/induction.mli: Bmc Ps_allsat Ps_circuit

@@ -1,0 +1,1 @@
+lib/core/instance.ml: Array Fun Hashtbl List Ps_allsat Ps_circuit Ps_sat Queue

@@ -1,0 +1,1 @@
+lib/core/instance.mli: Ps_allsat Ps_circuit Ps_sat

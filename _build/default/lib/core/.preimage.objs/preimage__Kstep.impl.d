@@ -1,0 +1,1 @@
+lib/core/kstep.ml: Array Engine Fun Hashtbl List Ps_allsat Ps_bdd Ps_circuit Ps_sat Ps_util Unix

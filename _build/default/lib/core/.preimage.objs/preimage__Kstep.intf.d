@@ -1,0 +1,1 @@
+lib/core/kstep.mli: Engine Ps_allsat Ps_bdd Ps_circuit Ps_util

@@ -1,0 +1,1 @@
+lib/core/reach.ml: Array Bdd_engine Check Engine Instance List Ps_allsat Ps_bdd Ps_circuit Ps_sat String Unix

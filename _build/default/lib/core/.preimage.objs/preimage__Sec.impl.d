@@ -1,0 +1,1 @@
+lib/core/sec.ml: Array Bmc Hashtbl Image List Ps_allsat Ps_circuit Ps_sat

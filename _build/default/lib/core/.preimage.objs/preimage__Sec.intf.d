@@ -1,0 +1,1 @@
+lib/core/sec.mli: Bmc Ps_circuit

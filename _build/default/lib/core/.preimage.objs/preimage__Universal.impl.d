@@ -1,0 +1,1 @@
+lib/core/universal.ml: Array Check Engine Instance List Ps_allsat Ps_bdd String Unix

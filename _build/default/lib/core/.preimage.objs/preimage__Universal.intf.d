@@ -1,0 +1,1 @@
+lib/core/universal.mli: Engine Ps_allsat Ps_bdd Ps_circuit

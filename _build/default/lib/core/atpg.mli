@@ -1,0 +1,44 @@
+(** All-solutions ATPG: complete test sets for stuck-at faults.
+
+    The application showcase for the all-solutions layer outside preimage
+    computation proper. For a fault, the miter between the circuit and
+    its faulty copy is satisfied exactly by the detecting vectors; the
+    all-SAT engines therefore deliver the {e complete} test set — as a
+    solution graph ([Sds]) or a lifted cube cover ([BlockingLift]) —
+    where a classical ATPG returns one vector per fault. Full-scan is
+    assumed: latch outputs are controllable pseudo-inputs and latch data
+    nets are observable pseudo-outputs.
+
+    An undetectable (redundant) fault yields an unsatisfiable miter and
+    an empty test set. *)
+
+type fault_report = {
+  fault : Ps_circuit.Faults.fault;
+  net_name : string;
+  detectable : bool;
+  vectors : float;          (** number of detecting input vectors *)
+  cubes : int;              (** cover size in the chosen representation *)
+  graph_nodes : int option; (** SDS only *)
+  sat_calls : int;
+}
+
+(** [test_set ?method_ circuit fault] enumerates all detecting
+    assignments of the inputs and pseudo-inputs (in
+    [Netlist.inputs @ Netlist.latches] order). *)
+val test_set :
+  ?method_:Engine.method_ ->
+  Ps_circuit.Netlist.t ->
+  Ps_circuit.Faults.fault ->
+  fault_report * Ps_allsat.Cube.t list
+
+(** [all ?method_ circuit] runs {!test_set} on every fault of the
+    circuit ({!Ps_circuit.Faults.all_faults}); reports are in fault
+    order. *)
+val all :
+  ?method_:Engine.method_ ->
+  Ps_circuit.Netlist.t ->
+  fault_report list
+
+(** [summary reports] is (faults, detectable, total vectors, average
+    cover size over detectable faults). *)
+val summary : fault_report list -> int * int * float * float

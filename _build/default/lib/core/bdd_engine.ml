@@ -1,0 +1,117 @@
+module B = Ps_bdd.Bdd
+module N = Ps_circuit.Netlist
+module T = Ps_circuit.Transition
+module G = Ps_circuit.Gate
+module Cube = Ps_allsat.Cube
+
+type order = StatesFirst | Interleaved
+
+type result = {
+  preimage : B.t;
+  man : B.man;
+  state_vars : int array;
+  input_vars : int array;
+  nodes_allocated : int;
+  preimage_size : int;
+  time_s : float;
+}
+
+let variable_maps order ~nstate ~ninputs =
+  match order with
+  | StatesFirst ->
+    ( Array.init nstate (fun i -> i),
+      Array.init ninputs (fun j -> nstate + j) )
+  | Interleaved ->
+    (* Alternate state and input variables while both remain. *)
+    let state_vars = Array.make nstate 0 in
+    let input_vars = Array.make ninputs 0 in
+    let v = ref 0 in
+    let take arr i = arr.(i) <- !v; incr v in
+    let rec go i j =
+      if i < nstate && j < ninputs then begin
+        take state_vars i;
+        take input_vars j;
+        go (i + 1) (j + 1)
+      end
+      else if i < nstate then begin
+        take state_vars i;
+        go (i + 1) j
+      end
+      else if j < ninputs then begin
+        take input_vars j;
+        go i (j + 1)
+      end
+    in
+    go 0 0;
+    (state_vars, input_vars)
+
+(* BDD of every net of the circuit cone, by topological walk. *)
+let build_functions man circuit tr state_vars input_vars =
+  let nnets = N.num_nets circuit in
+  let funcs = Array.make nnets (B.zero man) in
+  Array.iteri (fun i net -> funcs.(net) <- B.var man state_vars.(i)) tr.T.state_nets;
+  Array.iteri (fun j net -> funcs.(net) <- B.var man input_vars.(j)) tr.T.input_nets;
+  let apply kind args =
+    match (kind : G.kind) with
+    | G.And -> Array.fold_left B.band (B.one man) args
+    | G.Nand -> B.bnot (Array.fold_left B.band (B.one man) args)
+    | G.Or -> Array.fold_left B.bor (B.zero man) args
+    | G.Nor -> B.bnot (Array.fold_left B.bor (B.zero man) args)
+    | G.Xor -> Array.fold_left B.bxor (B.zero man) args
+    | G.Xnor -> B.bnot (Array.fold_left B.bxor (B.zero man) args)
+    | G.Not -> B.bnot args.(0)
+    | G.Buf -> args.(0)
+    | G.Const0 -> B.zero man
+    | G.Const1 -> B.one man
+  in
+  Array.iter
+    (fun g ->
+      match N.driver circuit g with
+      | N.Gate (kind, fanins) ->
+        funcs.(g) <- apply kind (Array.map (fun f -> funcs.(f)) fanins)
+      | N.Input | N.Latch _ -> assert false)
+    (N.topo_gates circuit);
+  funcs
+
+let target_bdd man target deltas =
+  List.fold_left
+    (fun acc c ->
+      let cube_bdd =
+        List.fold_left
+          (fun acc (i, v) ->
+            B.band acc (if v then deltas.(i) else B.bnot deltas.(i)))
+          (B.one man) (Cube.to_list c)
+      in
+      B.bor acc cube_bdd)
+    (B.zero man) target
+
+let run ?(order = StatesFirst) instance =
+  let t0 = Unix.gettimeofday () in
+  let circuit = instance.Instance.circuit in
+  let tr = instance.Instance.tr in
+  let nstate = Array.length tr.T.state_nets in
+  let ninputs = Array.length tr.T.input_nets in
+  let state_vars, input_vars = variable_maps order ~nstate ~ninputs in
+  let man = B.new_man ~nvars:(nstate + ninputs) in
+  let funcs = build_functions man circuit tr state_vars input_vars in
+  let deltas = Array.map (fun net -> funcs.(net)) tr.T.next_nets in
+  let constr = target_bdd man instance.Instance.target deltas in
+  let constr = if instance.Instance.negate then B.bnot constr else constr in
+  let preimage =
+    if instance.Instance.include_inputs then constr
+    else B.exists (Array.to_list input_vars) constr
+  in
+  {
+    preimage;
+    man;
+    state_vars;
+    input_vars;
+    nodes_allocated = B.num_nodes man;
+    preimage_size = B.size preimage;
+    time_s = Unix.gettimeofday () -. t0;
+  }
+
+let count r ~nstate =
+  let total_vars = B.nvars r.man in
+  B.count_models ~nvars:total_vars r.preimage
+  /. (2.0 ** float_of_int (total_vars - nstate))

@@ -1,0 +1,33 @@
+(** BDD-based preimage — the symbolic-model-checking baseline.
+
+    Builds BDDs for every next-state function by a topological walk of
+    the circuit, evaluates the target DNF over those function BDDs
+    (functional substitution — no intermediate transition relation), and
+    existentially quantifies the primary inputs:
+
+    [Pre(T)(s) = ∃x . T(δ(s, x))]
+
+    BDD variable space: state bit [i] ↦ variable [i]; primary input [j]
+    ↦ variable [nstate + j] ([`StatesFirst], default) or interleaved. *)
+
+type order = StatesFirst | Interleaved
+
+type result = {
+  preimage : Ps_bdd.Bdd.t;     (** over state variables [0 .. nstate-1] *)
+  man : Ps_bdd.Bdd.man;
+  state_vars : int array;      (** BDD variable of each state bit *)
+  input_vars : int array;      (** BDD variable of each input *)
+  nodes_allocated : int;       (** unique-table size after the run — the
+                                   memory proxy reported in Table 3 *)
+  preimage_size : int;         (** nodes in the result BDD *)
+  time_s : float;
+}
+
+(** [run ?order instance] computes the preimage symbolically. When the
+    instance projects over states {e and} inputs, the result is the
+    un-quantified constraint over both variable blocks. *)
+val run : ?order:order -> Instance.t -> result
+
+(** [count r ~nstate] is the number of states in the preimage (inputs,
+    if still present, are not counted — quantified results only). *)
+val count : result -> nstate:int -> float

@@ -1,0 +1,27 @@
+(** Bounded model checking.
+
+    The forward, single-query dual of {!Reach}: unroll [k] frames,
+    constrain frame 0 to the initial states and the frame-[k] state to
+    the bad set, and ask the SAT solver for a counterexample. Iterating
+    [k] upward gives the shortest counterexample; a clean [None] up to a
+    bound is a bounded safety proof. Every counterexample is replayed on
+    the simulator before being returned (so a returned trace is
+    guaranteed real). *)
+
+type counterexample = {
+  depth : int;                  (** cycles until the bad state *)
+  initial : bool array;         (** the starting state *)
+  inputs : bool array list;     (** one vector per cycle, netlist order *)
+  final : bool array;           (** the reached bad state *)
+}
+
+(** [check circuit ~init ~bad ~max_depth] searches depths
+    [0 .. max_depth] for a path from [init] into [bad] ([0] = an initial
+    state already bad). Returns the shortest counterexample, or [None]
+    if none exists within the bound. *)
+val check :
+  Ps_circuit.Netlist.t ->
+  init:Ps_allsat.Cube.t list ->
+  bad:Ps_allsat.Cube.t list ->
+  max_depth:int ->
+  counterexample option

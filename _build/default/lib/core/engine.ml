@@ -1,0 +1,99 @@
+module A = Ps_allsat
+module Sg = A.Solution_graph
+module Stats = Ps_util.Stats
+
+type method_ = Sds | SdsDynamic | SdsNoMemo | Blocking | BlockingLift
+
+let method_name = function
+  | Sds -> "sds"
+  | SdsDynamic -> "sds-dynamic"
+  | SdsNoMemo -> "sds-nomemo"
+  | Blocking -> "blocking"
+  | BlockingLift -> "blocking-lift"
+
+let all_methods = [ Sds; SdsDynamic; SdsNoMemo; Blocking; BlockingLift ]
+
+type result = {
+  method_ : method_;
+  cubes : A.Cube.t list;
+  graph : Sg.t option;
+  solutions : float;
+  n_cubes : int;
+  graph_nodes : int option;
+  time_s : float;
+  complete : bool;
+  stats : Stats.t;
+}
+
+let solution_count_of_cubes width cubes =
+  let man = Sg.new_man ~width in
+  let g =
+    List.fold_left
+      (fun acc c -> Sg.union acc (Sg.of_cube man c))
+      (Sg.zero man) cubes
+  in
+  Sg.count_models g
+
+let now () = Unix.gettimeofday ()
+
+let run_sds ~method_ instance =
+  let solver = Instance.solver instance in
+  let memo = method_ <> SdsNoMemo in
+  let decision = if method_ = SdsDynamic then A.Sds.Dynamic else A.Sds.Static in
+  let t0 = now () in
+  let r =
+    A.Sds.search
+      ~config:{ A.Sds.use_memo = memo; use_sat = true; decision }
+      ~netlist:instance.Instance.augmented ~root:instance.Instance.root
+      ~proj_nets:instance.Instance.proj_nets ~solver ()
+  in
+  let time_s = now () -. t0 in
+  let graph = r.A.Sds.graph in
+  let cubes = Sg.cubes graph in
+  let solutions =
+    (* dynamic decisions build a free graph: count by paths *)
+    match decision with
+    | A.Sds.Static -> Sg.count_models graph
+    | A.Sds.Dynamic -> Sg.count_models_paths graph
+  in
+  {
+    method_;
+    cubes;
+    graph = Some graph;
+    solutions;
+    n_cubes = List.length cubes;
+    graph_nodes = Some (Sg.size graph);
+    time_s;
+    complete = true;
+    stats = r.A.Sds.stats;
+  }
+
+let run_blocking ?limit ~lift instance =
+  let solver = Instance.solver instance in
+  let lift_fn = if lift then Some (Instance.lift instance) else None in
+  let t0 = now () in
+  let r = A.Blocking.enumerate ?limit ?lift:lift_fn solver instance.Instance.proj in
+  let time_s = now () -. t0 in
+  let cubes = r.A.Blocking.cubes in
+  let width = A.Project.width instance.Instance.proj in
+  let solutions =
+    if lift then solution_count_of_cubes width cubes
+    else float_of_int (List.length cubes)
+  in
+  {
+    method_ = (if lift then BlockingLift else Blocking);
+    cubes;
+    graph = None;
+    solutions;
+    n_cubes = List.length cubes;
+    graph_nodes = None;
+    time_s;
+    complete = r.A.Blocking.complete;
+    stats = r.A.Blocking.stats;
+  }
+
+let run ?limit method_ instance =
+  match method_ with
+  | Sds | SdsDynamic | SdsNoMemo -> run_sds ~method_ instance
+  | Blocking -> run_blocking ?limit ~lift:false instance
+  | BlockingLift -> run_blocking ?limit ~lift:true instance

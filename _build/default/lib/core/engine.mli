@@ -1,0 +1,44 @@
+(** The SAT all-solutions preimage engines behind one interface.
+
+    Four methods, matching the paper's comparison matrix:
+    - [Sds] — the contribution: success-driven search with solution graph.
+    - [SdsDynamic] — same search with dynamic (frontier-first) decisions;
+      the solution graph is then a {e free} BDD, as in the original
+      solver.
+    - [SdsNoMemo] — ablation: same search without success-driven learning.
+    - [Blocking] — classical baseline: one blocking clause per projected
+      minterm.
+    - [BlockingLift] — baseline + cube enlargement: blocking clauses over
+      justification-lifted cubes.
+
+    All methods return the {e same} solution set (cross-checked in the
+    test suite); they differ in time, SAT calls, and representation
+    size. *)
+
+type method_ = Sds | SdsDynamic | SdsNoMemo | Blocking | BlockingLift
+
+val method_name : method_ -> string
+val all_methods : method_ list
+
+type result = {
+  method_ : method_;
+  cubes : Ps_allsat.Cube.t list;
+      (** blocking engines: cubes in discovery order; SDS: the disjoint
+          graph paths *)
+  graph : Ps_allsat.Solution_graph.t option;  (** SDS only *)
+  solutions : float;   (** exact number of projected solutions *)
+  n_cubes : int;
+  graph_nodes : int option;   (** SDS: nodes in the result graph *)
+  time_s : float;
+  complete : bool;     (** [false] when a cube limit stopped enumeration *)
+  stats : Ps_util.Stats.t;
+}
+
+(** [run ?limit method_ instance] executes one engine on a fresh solver.
+    [limit] caps the number of enumerated cubes for the blocking engines
+    (ignored by SDS). *)
+val run : ?limit:int -> method_ -> Instance.t -> result
+
+(** [solution_count_of_cubes width cubes] is the exact cardinality of
+    the union of (possibly overlapping) cubes. *)
+val solution_count_of_cubes : int -> Ps_allsat.Cube.t list -> float

@@ -1,0 +1,113 @@
+module B = Ps_bdd.Bdd
+module N = Ps_circuit.Netlist
+module Tr = Ps_circuit.Transition
+module G = Ps_circuit.Gate
+module Cube = Ps_allsat.Cube
+
+(* Variable layout: present state 0..n-1, inputs n..n+m-1, next state
+   n+m..n+m+n-1. Sets live on the present-state block. *)
+type t = {
+  bman : B.man;
+  n : int;
+  m : int;
+  relation : B.t;           (* ∧ᵢ s'ᵢ ↔ δᵢ(s, x) *)
+  rename_next_to_cur : B.t array;  (* compose map s' -> s *)
+  quantified : int list;    (* s ∪ x variables *)
+}
+
+let create circuit =
+  let tr = Tr.of_netlist circuit in
+  let n = Array.length tr.Tr.state_nets in
+  let m = Array.length tr.Tr.input_nets in
+  if n = 0 then invalid_arg "Image.create: circuit has no latches";
+  let bman = B.new_man ~nvars:((2 * n) + m) in
+  (* function BDDs of every net over (s, x) *)
+  let funcs = Array.make (N.num_nets circuit) (B.zero bman) in
+  Array.iteri (fun i net -> funcs.(net) <- B.var bman i) tr.Tr.state_nets;
+  Array.iteri (fun j net -> funcs.(net) <- B.var bman (n + j)) tr.Tr.input_nets;
+  let apply kind args =
+    match (kind : G.kind) with
+    | G.And -> Array.fold_left B.band (B.one bman) args
+    | G.Nand -> B.bnot (Array.fold_left B.band (B.one bman) args)
+    | G.Or -> Array.fold_left B.bor (B.zero bman) args
+    | G.Nor -> B.bnot (Array.fold_left B.bor (B.zero bman) args)
+    | G.Xor -> Array.fold_left B.bxor (B.zero bman) args
+    | G.Xnor -> B.bnot (Array.fold_left B.bxor (B.zero bman) args)
+    | G.Not -> B.bnot args.(0)
+    | G.Buf -> args.(0)
+    | G.Const0 -> B.zero bman
+    | G.Const1 -> B.one bman
+  in
+  Array.iter
+    (fun gnet ->
+      match N.driver circuit gnet with
+      | N.Gate (kind, fanins) ->
+        funcs.(gnet) <- apply kind (Array.map (fun f -> funcs.(f)) fanins)
+      | N.Input | N.Latch _ -> assert false)
+    (N.topo_gates circuit);
+  let relation = ref (B.one bman) in
+  Array.iteri
+    (fun i net ->
+      let delta = funcs.(net) in
+      let next_var = B.var bman (n + m + i) in
+      relation := B.band !relation (B.bxnor next_var delta))
+    tr.Tr.next_nets;
+  let rename_next_to_cur =
+    Array.init ((2 * n) + m) (fun v ->
+        if v >= n + m then B.var bman (v - n - m) else B.var bman v)
+  in
+  {
+    bman;
+    n;
+    m;
+    relation = !relation;
+    rename_next_to_cur;
+    quantified = List.init (n + m) Fun.id;
+  }
+
+let man t = t.bman
+let nstate t = t.n
+
+let of_cubes t cubes =
+  List.fold_left
+    (fun acc c -> B.bor acc (B.cube t.bman (Cube.to_list c)))
+    (B.zero t.bman) cubes
+
+let image t s =
+  (* ∃ s,x . relation ∧ S(s), then rename s' to s *)
+  let over_next = B.and_exists t.quantified t.relation s in
+  B.compose over_next t.rename_next_to_cur
+
+type reach_result = {
+  reached : B.t;
+  steps : int;
+  total_states : float;
+  fixpoint : bool;
+}
+
+let forward_reach ?(max_steps = 1000) t ~init =
+  let reached = ref (of_cubes t init) in
+  let frontier = ref !reached in
+  let steps = ref 0 in
+  let fixpoint = ref false in
+  while (not !fixpoint) && !steps < max_steps do
+    if B.is_zero !frontier then fixpoint := true
+    else begin
+      incr steps;
+      let img = image t !frontier in
+      let fresh = B.band img (B.bnot !reached) in
+      reached := B.bor !reached fresh;
+      frontier := fresh;
+      if B.is_zero fresh then fixpoint := true
+    end
+  done;
+  {
+    reached = !reached;
+    steps = !steps;
+    total_states =
+      B.count_models ~nvars:(B.nvars t.bman) !reached
+      /. (2.0 ** float_of_int (t.m + t.n));
+    fixpoint = !fixpoint;
+  }
+
+let intersects _t a b = not (B.is_zero (B.band a b))

@@ -1,0 +1,85 @@
+module N = Ps_circuit.Netlist
+module B = Ps_circuit.Builder
+module U = Ps_circuit.Unroll
+module Cube = Ps_allsat.Cube
+module Solver = Ps_sat.Solver
+module Lit = Ps_sat.Lit
+
+type outcome =
+  | Proved of int
+  | Falsified of Bmc.counterexample
+  | Unknown of int
+
+(* OR/AND target blocks over a state-net vector (as in Bmc). *)
+let dnf_block b nets cubes prefix =
+  let inv_cache = Hashtbl.create 16 in
+  let inverted net =
+    match Hashtbl.find_opt inv_cache net with
+    | Some x -> x
+    | None ->
+      let x = B.not_ b ~name:(B.fresh_name b (prefix ^ "inv")) net in
+      Hashtbl.add inv_cache net x;
+      x
+  in
+  let cube_net c =
+    match Cube.to_list c with
+    | [] -> B.const1 b ~name:(B.fresh_name b (prefix ^ "true")) ()
+    | lits ->
+      let ins =
+        List.map (fun (i, v) -> if v then nets.(i) else inverted nets.(i)) lits
+      in
+      (match ins with
+      | [ single ] -> B.buf b ~name:(B.fresh_name b (prefix ^ "buf")) single
+      | _ -> B.and_ b ~name:(B.fresh_name b (prefix ^ "cube")) ins)
+  in
+  match List.map cube_net cubes with
+  | [] -> invalid_arg "Induction: empty cube list"
+  | [ single ] -> single
+  | nets -> B.or_ b ~name:(B.fresh_name b (prefix ^ "any")) nets
+
+(* Step case at [k]: SAT? P(s_0..s_{k-1}) ∧ ¬P(s_k) with optional
+   pairwise state distinctness. UNSAT = inductive. *)
+let step_holds circuit ~bad ~unique_states k =
+  let unrolled = U.unroll circuit ~k in
+  let b = B.of_netlist unrolled.U.netlist in
+  let bad_at t = dnf_block b unrolled.U.state_at.(t) bad (Printf.sprintf "_b%d_" t) in
+  let good_frames =
+    List.init k (fun t -> B.not_ b ~name:(Printf.sprintf "_good%d" t) (bad_at t))
+  in
+  let conjuncts = ref (bad_at k :: good_frames) in
+  if unique_states then begin
+    let nstate = Array.length unrolled.U.state0 in
+    for i = 0 to k do
+      for j = i + 1 to k do
+        let diff_bits =
+          List.init nstate (fun x ->
+              B.xor_ b
+                [ unrolled.U.state_at.(i).(x); unrolled.U.state_at.(j).(x) ])
+        in
+        conjuncts := B.or_ b ~name:(Printf.sprintf "_ne_%d_%d" i j) diff_bits
+                     :: !conjuncts
+      done
+    done
+  end;
+  let top = B.and_ b ~name:"_step" !conjuncts in
+  B.output b top;
+  let net = B.finalize b in
+  let cone = N.cone net [ top ] in
+  let cnf = Ps_circuit.Tseitin.encode ~cone net in
+  let s = Solver.create () in
+  ignore (Solver.load s cnf);
+  ignore (Solver.add_clause s [ Lit.pos top ]);
+  Solver.solve s = Solver.Unsat
+
+let prove ?(unique_states = false) circuit ~init ~bad ~max_k =
+  if max_k < 1 then invalid_arg "Induction.prove: max_k >= 1";
+  let rec loop k =
+    if k > max_k then Unknown max_k
+    else begin
+      (* base case up to k *)
+      match Bmc.check circuit ~init ~bad ~max_depth:k with
+      | Some cex -> Falsified cex
+      | None -> if step_holds circuit ~bad ~unique_states k then Proved k else loop (k + 1)
+    end
+  in
+  loop 1

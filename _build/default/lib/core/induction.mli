@@ -1,0 +1,31 @@
+(** Safety proofs by k-induction.
+
+    The proof-side complement of {!Bmc}: a property [P = ¬bad] holds in
+    all reachable states if
+
+    + {e base}: no path of length ≤ k from the initial states reaches
+      [bad] (checked by {!Bmc}), and
+    + {e step}: every path of k+1 states satisfying [P] on its first k
+      states satisfies [P] on the last (checked as the unsatisfiability
+      of one unrolled SAT instance).
+
+    [k] is increased until the step case becomes unsatisfiable, a base
+    counterexample appears, or the bound runs out. With [unique_states]
+    (simple-path constraint: pairwise distinct states along the step
+    path) the method is complete — some [k] always settles it — at the
+    cost of quadratically many disequality constraints. *)
+
+type outcome =
+  | Proved of int                       (** inductive at this [k] *)
+  | Falsified of Bmc.counterexample     (** real trace into [bad] *)
+  | Unknown of int                      (** bound exhausted at this [k] *)
+
+(** [prove ?unique_states circuit ~init ~bad ~max_k] runs the
+    incremental loop [k = 1, 2, ...]. *)
+val prove :
+  ?unique_states:bool ->
+  Ps_circuit.Netlist.t ->
+  init:Ps_allsat.Cube.t list ->
+  bad:Ps_allsat.Cube.t list ->
+  max_k:int ->
+  outcome

@@ -1,0 +1,118 @@
+module N = Ps_circuit.Netlist
+module B = Ps_circuit.Builder
+module U = Ps_circuit.Unroll
+module A = Ps_allsat
+module Cube = A.Cube
+module Sg = A.Solution_graph
+module Solver = Ps_sat.Solver
+module Lit = Ps_sat.Lit
+
+type result = {
+  cubes : Cube.t list;
+  graph : Sg.t option;
+  solutions : float;
+  time_s : float;
+  stats : Ps_util.Stats.t;
+}
+
+(* Target block over the final-frame state nets, mirroring
+   Instance.build_target_block but on a combinational unrolling. *)
+let graft_target unrolled target =
+  let b = B.of_netlist unrolled.U.netlist in
+  let final = unrolled.U.state_at.(Array.length unrolled.U.state_at - 1) in
+  let nstate = Array.length final in
+  List.iter
+    (fun c ->
+      if Cube.width c <> nstate then
+        invalid_arg "Kstep.preimage: target cube width <> number of latches")
+    target;
+  let inv_cache = Hashtbl.create 16 in
+  let inverted net =
+    match Hashtbl.find_opt inv_cache net with
+    | Some n -> n
+    | None ->
+      let n = B.not_ b ~name:(B.fresh_name b "_kinv") net in
+      Hashtbl.add inv_cache net n;
+      n
+  in
+  let cube_net c =
+    match Cube.to_list c with
+    | [] -> B.const1 b ~name:(B.fresh_name b "_ktrue") ()
+    | lits ->
+      let nets =
+        List.map (fun (i, v) -> if v then final.(i) else inverted final.(i)) lits
+      in
+      (match nets with
+      | [ single ] -> single
+      | _ -> B.and_ b ~name:(B.fresh_name b "_kcube") nets)
+  in
+  let root =
+    match List.map cube_net target with
+    | [] -> invalid_arg "Kstep.preimage: empty target"
+    | [ single ] -> B.buf b ~name:"_ktarget" single
+    | nets -> B.or_ b ~name:"_ktarget" nets
+  in
+  (B.finalize b, root)
+
+let preimage ?(method_ = Engine.Sds) circuit target ~k =
+  let t0 = Unix.gettimeofday () in
+  let unrolled = U.unroll circuit ~k in
+  let augmented, root = graft_target unrolled target in
+  let cone = N.cone augmented [ root ] in
+  let cnf = Ps_circuit.Tseitin.encode ~cone augmented in
+  let proj_nets = unrolled.U.state0 in
+  let proj =
+    A.Project.make ~vars:(Array.copy proj_nets)
+      ~names:(Array.map (N.name augmented) proj_nets)
+  in
+  let solver () =
+    let s = Solver.create () in
+    ignore (Solver.load s cnf);
+    ignore (Solver.add_clause s [ Lit.pos root ]);
+    s
+  in
+  let finish cubes graph solutions stats =
+    { cubes; graph; solutions; time_s = Unix.gettimeofday () -. t0; stats }
+  in
+  match method_ with
+  | Engine.Sds | Engine.SdsDynamic | Engine.SdsNoMemo ->
+    let memo = method_ <> Engine.SdsNoMemo in
+    let decision =
+      if method_ = Engine.SdsDynamic then A.Sds.Dynamic else A.Sds.Static
+    in
+    let r =
+      A.Sds.search
+        ~config:{ A.Sds.use_memo = memo; use_sat = true; decision }
+        ~netlist:augmented ~root ~proj_nets ~solver:(solver ()) ()
+    in
+    let count =
+      if method_ = Engine.SdsDynamic then Sg.count_models_paths r.A.Sds.graph
+      else Sg.count_models r.A.Sds.graph
+    in
+    finish (Sg.cubes r.A.Sds.graph) (Some r.A.Sds.graph) count r.A.Sds.stats
+  | Engine.Blocking | Engine.BlockingLift ->
+    let lift =
+      if method_ = Engine.BlockingLift then
+        Some
+          (fun model ->
+            A.Lifting.lift_mask augmented ~root
+              ~values:(Array.sub model 0 (N.num_nets augmented))
+              ~proj_nets)
+      else None
+    in
+    let r = A.Blocking.enumerate ?lift (solver ()) proj in
+    let solutions =
+      if method_ = Engine.Blocking then
+        float_of_int (List.length r.A.Blocking.cubes)
+      else Engine.solution_count_of_cubes (Array.length proj_nets) r.A.Blocking.cubes
+    in
+    finish r.A.Blocking.cubes None solutions r.A.Blocking.stats
+
+let preimage_bdd man r ~nstate =
+  let module Bd = Ps_bdd.Bdd in
+  match r.graph with
+  | Some g -> Sg.to_bdd man (Array.init nstate Fun.id) g
+  | None ->
+    List.fold_left
+      (fun acc c -> Bd.bor acc (Bd.cube man (Cube.to_list c)))
+      (Bd.zero man) r.cubes

@@ -1,0 +1,152 @@
+module B = Ps_bdd.Bdd
+module Cube = Ps_allsat.Cube
+module T = Ps_circuit.Transition
+
+type engine = E_sds | E_sds_dynamic | E_blocking_lift | E_bdd
+
+let engine_name = function
+  | E_sds -> "sds"
+  | E_sds_dynamic -> "sds-dynamic"
+  | E_blocking_lift -> "blocking-lift"
+  | E_bdd -> "bdd"
+
+type step = {
+  index : int;
+  frontier_states : float;
+  total_states : float;
+  frontier_cubes : int;
+  time_s : float;
+}
+
+type result = {
+  engine : engine;
+  steps : step list;
+  fixpoint : bool;
+  total_states : float;
+  reached : B.t;
+  man : B.man;
+  layers : B.t list;
+  time_s : float;
+}
+
+let cube_of_path path =
+  Cube.of_string
+    (String.init (Array.length path) (fun i ->
+         match path.(i) with Some true -> '1' | Some false -> '0' | None -> '-'))
+
+let cubes_of_bdd f ~width =
+  let acc = ref [] in
+  B.iter_cubes f ~nvars:width (fun path -> acc := cube_of_path path :: !acc);
+  List.rev !acc
+
+let target_bdd man cubes =
+  List.fold_left
+    (fun acc c -> B.bor acc (B.cube man (Cube.to_list c)))
+    (B.zero man) cubes
+
+let preimage_of_cubes engine circuit frontier_cubes man ~width =
+  let instance = Instance.make circuit frontier_cubes in
+  match engine with
+  | E_sds ->
+    let r = Engine.run Engine.Sds instance in
+    Check.result_bdd man r ~width
+  | E_sds_dynamic ->
+    let r = Engine.run Engine.SdsDynamic instance in
+    Check.result_bdd man r ~width
+  | E_blocking_lift ->
+    let r = Engine.run Engine.BlockingLift instance in
+    Check.result_bdd man r ~width
+  | E_bdd ->
+    let r = Bdd_engine.run instance in
+    Check.preimage_bdd_in man r instance
+
+let backward ?(engine = E_sds) ?(max_steps = 1000) circuit target =
+  let t_start = Unix.gettimeofday () in
+  let tr = T.of_netlist circuit in
+  let nstate = Array.length tr.T.state_nets in
+  if nstate = 0 then invalid_arg "Reach.backward: circuit has no latches";
+  let man = B.new_man ~nvars:nstate in
+  let count f = B.count_models ~nvars:nstate f in
+  let reached = ref (target_bdd man target) in
+  let frontier = ref !reached in
+  let layers = ref [ !reached ] in
+  let steps = ref [] in
+  let index = ref 0 in
+  let fixpoint = ref false in
+  while (not !fixpoint) && !index < max_steps do
+    if B.is_zero !frontier then fixpoint := true
+    else begin
+      incr index;
+      let t0 = Unix.gettimeofday () in
+      let frontier_cubes = cubes_of_bdd !frontier ~width:nstate in
+      let pre = preimage_of_cubes engine circuit frontier_cubes man ~width:nstate in
+      let fresh = B.band pre (B.bnot !reached) in
+      reached := B.bor !reached fresh;
+      layers := !reached :: !layers;
+      frontier := fresh;
+      steps :=
+        {
+          index = !index;
+          frontier_states = count fresh;
+          total_states = count !reached;
+          frontier_cubes = List.length frontier_cubes;
+          time_s = Unix.gettimeofday () -. t0;
+        }
+        :: !steps;
+      if B.is_zero fresh then fixpoint := true
+    end
+  done;
+  {
+    engine;
+    steps = List.rev !steps;
+    fixpoint = !fixpoint;
+    total_states = count !reached;
+    reached = !reached;
+    man;
+    layers = List.rev !layers;
+    time_s = Unix.gettimeofday () -. t_start;
+  }
+
+let mem r state_bits = B.eval r.reached state_bits
+
+(* Witness extraction: from a state at backward distance d, one SAT call
+   per step finds inputs whose successor lies within distance d-1. *)
+let trace r circuit ~from =
+  let tr = T.of_netlist circuit in
+  let nstate = Array.length tr.T.state_nets in
+  if Array.length from <> nstate then invalid_arg "Reach.trace: bad state width";
+  if not (mem r from) then None
+  else begin
+    let layers = Array.of_list r.layers in
+    let depth_of s =
+      let rec find i = if B.eval layers.(i) s then i else find (i + 1) in
+      find 0
+    in
+    let module Solver = Ps_sat.Solver in
+    let module Lit = Ps_sat.Lit in
+    let trace = ref [] in
+    let state = ref (Array.copy from) in
+    let d = ref (depth_of from) in
+    while !d > 0 do
+      let closer = cubes_of_bdd layers.(!d - 1) ~width:nstate in
+      let inst = Instance.make ~include_inputs:true circuit closer in
+      let solver = Instance.solver inst in
+      let assumptions =
+        List.init nstate (fun i ->
+            Lit.make tr.T.state_nets.(i) !state.(i))
+      in
+      (match Solver.solve ~assumptions solver with
+      | Solver.Unsat ->
+        (* cannot happen: the state is in layer d = Pre(layer d-1) ∪ ... *)
+        assert false
+      | Solver.Sat ->
+        let inputs =
+          Array.map (fun net -> Solver.model_value solver net) tr.T.input_nets
+        in
+        let _, next = Ps_circuit.Sim.step circuit ~inputs ~state:!state in
+        trace := inputs :: !trace;
+        state := next;
+        d := depth_of next)
+    done;
+    Some (List.rev !trace)
+  end

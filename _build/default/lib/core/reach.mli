@@ -1,0 +1,53 @@
+(** Backward reachability: iterated preimage to a fixpoint.
+
+    [R0 = T], [R(k+1) = R(k) ∪ Pre(frontier)] with [frontier = the states
+    added in step k]; terminates when no new states appear (guaranteed —
+    the state space is finite). The reached set is maintained as a BDD
+    over the state variables regardless of the per-step engine, so the
+    SAT engines and the native BDD engine are directly comparable. *)
+
+type engine = E_sds | E_sds_dynamic | E_blocking_lift | E_bdd
+
+val engine_name : engine -> string
+
+type step = {
+  index : int;              (** 1-based preimage step *)
+  frontier_states : float;  (** states newly added by this step *)
+  total_states : float;     (** |R| after this step *)
+  frontier_cubes : int;     (** cubes handed to the next step's target *)
+  time_s : float;
+}
+
+type result = {
+  engine : engine;
+  steps : step list;        (** in order; empty when [T] is already closed *)
+  fixpoint : bool;          (** [false] only when [max_steps] stopped it *)
+  total_states : float;
+  reached : Ps_bdd.Bdd.t;   (** over state variables [0 .. nstate-1] *)
+  man : Ps_bdd.Bdd.man;
+  layers : Ps_bdd.Bdd.t list;
+      (** [layers] element [i] = states within backward distance [i]
+          ([List.hd layers] is the target set itself) *)
+  time_s : float;
+}
+
+(** [backward ?engine ?max_steps circuit target] runs the fixpoint.
+    Default engine [E_sds], default [max_steps] 1000. *)
+val backward :
+  ?engine:engine ->
+  ?max_steps:int ->
+  Ps_circuit.Netlist.t ->
+  Ps_allsat.Cube.t list ->
+  result
+
+(** [mem r state_bits] — is the state in the reached set? *)
+val mem : result -> bool array -> bool
+
+(** [trace r circuit ~from] extracts a witness: the input vectors (one
+    per cycle, in {!Ps_circuit.Netlist.inputs} order) driving the
+    circuit from [from] into the target set, following the distance
+    layers strictly inward — so the trace has minimal length. [None]
+    when [from] is not in the reached set. The extraction makes one SAT
+    call per step. *)
+val trace :
+  result -> Ps_circuit.Netlist.t -> from:bool array -> bool array list option

@@ -1,0 +1,98 @@
+module N = Ps_circuit.Netlist
+module B = Ps_circuit.Builder
+module A = Ps_allsat
+module Cube = A.Cube
+module Solver = Ps_sat.Solver
+module Lit = Ps_sat.Lit
+
+type verdict =
+  | Equivalent of { states_explored : float }
+  | Inequivalent of Bmc.counterexample
+
+type product = {
+  netlist : N.t;
+  diff : int;
+  nstate_a : int;
+}
+
+(* Copy one circuit into the product builder: latches become fresh
+   latches (suffixed), gates are replayed, inputs resolve through the
+   shared table. Returns (latch list, data setter thunks, output nets). *)
+let import b circuit ~shared ~suffix =
+  let map = Array.make (N.num_nets circuit) (-1) in
+  List.iter
+    (fun net -> map.(net) <- Hashtbl.find shared (N.name circuit net))
+    (N.inputs circuit);
+  let latches =
+    List.map
+      (fun net ->
+        let l = B.latch b (N.name circuit net ^ suffix) in
+        map.(net) <- l;
+        (l, net))
+      (N.latches circuit)
+  in
+  Array.iter
+    (fun gnet ->
+      match N.driver circuit gnet with
+      | N.Gate (kind, fanins) ->
+        let fanins' = Array.to_list (Array.map (fun f -> map.(f)) fanins) in
+        map.(gnet) <- B.gate b ~name:(N.name circuit gnet ^ suffix) kind fanins'
+      | N.Input | N.Latch _ -> assert false)
+    (N.topo_gates circuit);
+  List.iter
+    (fun (l, orig) -> B.set_latch_data b l map.(N.latch_data circuit orig))
+    latches;
+  List.map (fun o -> map.(o)) (N.outputs circuit)
+
+let product a c =
+  let input_names n = List.map (N.name n) (N.inputs n) in
+  if List.sort compare (input_names a) <> List.sort compare (input_names c) then
+    invalid_arg "Sec.product: input interfaces differ";
+  if List.length (N.outputs a) <> List.length (N.outputs c) then
+    invalid_arg "Sec.product: output counts differ";
+  let b = B.create () in
+  let shared = Hashtbl.create 16 in
+  List.iter (fun name -> Hashtbl.add shared name (B.input b name)) (input_names a);
+  let outs_a = import b a ~shared ~suffix:"__A" in
+  let outs_c = import b c ~shared ~suffix:"__B" in
+  let xors = List.map2 (fun x y -> B.xor_ b [ x; y ]) outs_a outs_c in
+  let diff = B.or_ b ~name:"__diff" xors in
+  B.output b diff;
+  { netlist = B.finalize b; diff; nstate_a = List.length (N.latches a) }
+
+(* States from which some input makes the outputs disagree, as cubes
+   over the product latches (all-SAT projection of diff = 1). *)
+let disagreeing_states p =
+  let cone = N.cone p.netlist [ p.diff ] in
+  let cnf = Ps_circuit.Tseitin.encode ~cone p.netlist in
+  let s = Solver.create () in
+  ignore (Solver.load s cnf);
+  ignore (Solver.add_clause s [ Lit.pos p.diff ]);
+  let proj_nets = Array.of_list (N.latches p.netlist) in
+  let r = A.Sds.search ~netlist:p.netlist ~root:p.diff ~proj_nets ~solver:s () in
+  A.Solution_graph.cubes r.A.Sds.graph
+
+let check a c ~init_a ~init_b =
+  let p = product a c in
+  if Array.length init_a <> List.length (N.latches a) then
+    invalid_arg "Sec.check: init_a width";
+  if Array.length init_b <> List.length (N.latches c) then
+    invalid_arg "Sec.check: init_b width";
+  let init_bits = Array.append init_a init_b in
+  let init = [ Cube.of_assignment init_bits ] in
+  match disagreeing_states p with
+  | [] -> Equivalent { states_explored = 0.0 }
+  | bad ->
+    let ctx = Image.create p.netlist in
+    let fwd = Image.forward_reach ctx ~init in
+    let bad_bdd = Image.of_cubes ctx bad in
+    if not (Image.intersects ctx fwd.Image.reached bad_bdd) then
+      Equivalent { states_explored = fwd.Image.total_states }
+    else begin
+      match Bmc.check p.netlist ~init ~bad ~max_depth:1_000 with
+      | Some cex -> Inequivalent cex
+      | None ->
+        (* reachability says a disagreeing state is reachable; BMC must
+           find it within the state-space diameter *)
+        assert false
+    end

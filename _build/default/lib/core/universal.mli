@@ -1,0 +1,31 @@
+(** Universal (forall-input) preimage — controllable predecessors.
+
+    [Pre∀(T)(s) = ∀x . δ(s, x) ∈ T] — the states {e guaranteed} to land
+    in [T] next cycle whatever the inputs do. This is the "controllable
+    predecessor" of game-based synthesis and the dual of the existential
+    preimage:
+
+    [Pre∀(T) = ¬ Pre∃(¬T)]
+
+    which is exactly how it is computed here: one all-solutions query on
+    the {e negated} objective (see {!Instance.make}'s [negate]),
+    complemented as a BDD over the state variables. *)
+
+type result = {
+  states : Ps_bdd.Bdd.t;   (** over state variables [0 .. nstate-1] *)
+  man : Ps_bdd.Bdd.man;
+  count : float;
+  cubes : Ps_allsat.Cube.t list;  (** disjoint cover of the result *)
+  time_s : float;
+}
+
+(** [preimage ?method_ circuit target] computes [Pre∀(target)] with the
+    chosen engine (default [Sds]). *)
+val preimage :
+  ?method_:Engine.method_ ->
+  Ps_circuit.Netlist.t ->
+  Ps_allsat.Cube.t list ->
+  result
+
+(** [mem r state_bits] — is the state a controllable predecessor? *)
+val mem : result -> bool array -> bool

@@ -1,0 +1,1 @@
+lib/gen/counters.ml: Array Printf Ps_circuit

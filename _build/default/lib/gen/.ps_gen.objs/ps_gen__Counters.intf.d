@@ -1,0 +1,1 @@
+lib/gen/counters.mli: Ps_circuit

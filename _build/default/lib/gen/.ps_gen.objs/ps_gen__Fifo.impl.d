@@ -1,0 +1,1 @@
+lib/gen/fifo.ml: Array List Printf Ps_circuit

@@ -1,0 +1,1 @@
+lib/gen/fifo.mli: Ps_circuit

@@ -1,0 +1,1 @@
+lib/gen/fsm.ml: Array Printf Ps_circuit String

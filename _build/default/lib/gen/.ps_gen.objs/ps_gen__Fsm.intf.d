@@ -1,0 +1,1 @@
+lib/gen/fsm.mli: Ps_circuit

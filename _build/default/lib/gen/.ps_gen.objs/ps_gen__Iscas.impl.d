@@ -1,0 +1,1 @@
+lib/gen/iscas.ml: Ps_circuit

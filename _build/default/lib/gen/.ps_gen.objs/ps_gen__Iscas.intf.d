@@ -1,0 +1,1 @@
+lib/gen/iscas.mli: Ps_circuit

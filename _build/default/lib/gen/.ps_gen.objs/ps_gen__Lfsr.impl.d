@@ -1,0 +1,1 @@
+lib/gen/lfsr.ml: Array List Printf Ps_circuit

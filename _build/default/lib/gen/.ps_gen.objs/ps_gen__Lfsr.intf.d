@@ -1,0 +1,1 @@
+lib/gen/lfsr.mli: Ps_circuit

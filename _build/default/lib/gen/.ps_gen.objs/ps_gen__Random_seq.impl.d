@@ -1,0 +1,1 @@
+lib/gen/random_seq.ml: Array List Printf Ps_circuit Ps_util

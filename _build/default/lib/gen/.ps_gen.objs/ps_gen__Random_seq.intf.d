@@ -1,0 +1,1 @@
+lib/gen/random_seq.mli: Ps_circuit

@@ -1,0 +1,1 @@
+lib/gen/suite.ml: Counters Fifo Fsm Iscas Lazy Lfsr List Ps_circuit Random_seq Targets

@@ -1,0 +1,1 @@
+lib/gen/suite.mli: Lazy Ps_circuit Targets

@@ -1,0 +1,1 @@
+lib/gen/targets.ml: Array Format Hashtbl List Printf Ps_allsat Ps_bdd Ps_circuit Ps_util String

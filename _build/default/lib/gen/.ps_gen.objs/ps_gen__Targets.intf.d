@@ -1,0 +1,1 @@
+lib/gen/targets.mli: Format Ps_allsat Ps_util

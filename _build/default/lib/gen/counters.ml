@@ -1,0 +1,90 @@
+module B = Ps_circuit.Builder
+module G = Ps_circuit.Gate
+
+let binary ~bits () =
+  if bits < 1 then invalid_arg "Counters.binary: bits must be >= 1";
+  let b = B.create () in
+  let en = B.input b "en" in
+  let q = Array.init bits (fun i -> B.latch b (Printf.sprintf "q%d" i)) in
+  (* Ripple-carry increment gated by en. *)
+  let carry = ref en in
+  Array.iteri
+    (fun i qi ->
+      let next = B.xor_ b ~name:(Printf.sprintf "nx%d" i) [ qi; !carry ] in
+      B.set_latch_data b qi next;
+      if i < bits - 1 then
+        carry := B.and_ b ~name:(Printf.sprintf "c%d" (i + 1)) [ !carry; qi ])
+    q;
+  let all = B.and_ b ~name:"all_ones" (Array.to_list q) in
+  B.output b all;
+  B.finalize b
+
+let modulo ~bits ~m () =
+  if bits < 1 then invalid_arg "Counters.modulo: bits must be >= 1";
+  if m < 2 || m > 1 lsl bits then invalid_arg "Counters.modulo: bad modulus";
+  let b = B.create () in
+  let en = B.input b "en" in
+  let q = Array.init bits (fun i -> B.latch b (Printf.sprintf "q%d" i)) in
+  (* wrap = (q = m-1): comparator against the constant. *)
+  let last = m - 1 in
+  let eq_bits =
+    Array.to_list
+      (Array.mapi
+         (fun i qi ->
+           if (last lsr i) land 1 = 1 then qi
+           else B.not_ b qi)
+         q)
+  in
+  let wrap = B.and_ b ~name:"wrap" eq_bits in
+  let wrap_en = B.and_ b ~name:"wrap_en" [ wrap; en ] in
+  let carry = ref en in
+  Array.iteri
+    (fun i qi ->
+      let inc = B.xor_ b [ qi; !carry ] in
+      (* On wrap, reset to zero instead of incrementing. *)
+      let nwrap = B.not_ b wrap_en in
+      let next = B.and_ b ~name:(Printf.sprintf "nx%d" i) [ inc; nwrap ] in
+      B.set_latch_data b qi next;
+      if i < bits - 1 then carry := B.and_ b [ !carry; qi ])
+    q;
+  let out = B.or_ b (Array.to_list q) in
+  B.output b out;
+  B.finalize b
+
+let johnson ~bits () =
+  if bits < 1 then invalid_arg "Counters.johnson: bits must be >= 1";
+  let b = B.create () in
+  let q = Array.init bits (fun i -> B.latch b (Printf.sprintf "q%d" i)) in
+  let feedback = B.not_ b ~name:"fb" q.(bits - 1) in
+  Array.iteri
+    (fun i qi ->
+      if i = 0 then B.set_latch_data b qi feedback
+      else B.set_latch_data b qi q.(i - 1))
+    q;
+  B.output b q.(bits - 1);
+  B.finalize b
+
+let gray ~bits () =
+  if bits < 1 then invalid_arg "Counters.gray: bits must be >= 1";
+  let b = B.create () in
+  let en = B.input b "en" in
+  (* Store the binary value; outputs are the Gray conversion; the Gray
+     codes are also fed to the (unused externally) output OR so the cone
+     includes the conversion logic. *)
+  let q = Array.init bits (fun i -> B.latch b (Printf.sprintf "q%d" i)) in
+  let carry = ref en in
+  Array.iteri
+    (fun i qi ->
+      let next = B.xor_ b ~name:(Printf.sprintf "nx%d" i) [ qi; !carry ] in
+      B.set_latch_data b qi next;
+      if i < bits - 1 then carry := B.and_ b [ !carry; qi ])
+    q;
+  let gray_bits =
+    Array.to_list
+      (Array.init bits (fun i ->
+           if i = bits - 1 then B.buf b q.(i)
+           else B.xor_ b ~name:(Printf.sprintf "g%d" i) [ q.(i); q.(i + 1) ]))
+  in
+  let out = B.or_ b ~name:"gray_any" gray_bits in
+  B.output b out;
+  B.finalize b

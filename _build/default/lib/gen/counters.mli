@@ -1,0 +1,23 @@
+(** Counter-family sequential benchmark circuits.
+
+    Counters are the canonical many-solutions preimage workloads: a
+    loose target (e.g. "top bit set") has an exponentially large,
+    highly regular preimage, which is exactly where blocking-clause
+    enumeration degrades and the solution graph stays tiny. *)
+
+(** [binary ~bits ()] is a [bits]-wide binary up-counter with an [en]
+    input (holds when [en = 0]); output is the AND of all bits. State
+    bits are named [q0 .. q<bits-1>] (q0 = LSB). *)
+val binary : bits:int -> unit -> Ps_circuit.Netlist.t
+
+(** [modulo ~bits ~m ()] counts 0 .. m-1 and wraps (needs [m <= 2^bits]);
+    the comparator makes the next-state cone irregular. *)
+val modulo : bits:int -> m:int -> unit -> Ps_circuit.Netlist.t
+
+(** [johnson ~bits ()] is a Johnson (twisted-ring) counter: shift with
+    inverted feedback; no primary inputs. *)
+val johnson : bits:int -> unit -> Ps_circuit.Netlist.t
+
+(** [gray ~bits ()] is a Gray-code counter (binary core with XOR output
+    conversion folded into the next-state logic). *)
+val gray : bits:int -> unit -> Ps_circuit.Netlist.t

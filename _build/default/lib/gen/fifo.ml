@@ -1,0 +1,42 @@
+module B = Ps_circuit.Builder
+
+(* Increment a pointer register (LSB-first array) when [en]; returns the
+   next-value nets. *)
+let incremented b ptr en =
+  let carry = ref en in
+  Array.mapi
+    (fun i bit ->
+      let next = B.xor_ b [ bit; !carry ] in
+      if i < Array.length ptr - 1 then carry := B.and_ b [ !carry; bit ];
+      next)
+    ptr
+
+let controller ~ptr_bits () =
+  if ptr_bits < 1 then invalid_arg "Fifo.controller: ptr_bits >= 1";
+  let w = ptr_bits + 1 in
+  let b = B.create () in
+  let push = B.input b "push" in
+  let pop = B.input b "pop" in
+  let head = Array.init w (fun i -> B.latch b (Printf.sprintf "h%d" i)) in
+  let tail = Array.init w (fun i -> B.latch b (Printf.sprintf "t%d" i)) in
+  (* equality of the low ptr_bits and of the wrap bits *)
+  let eq_bits a c n =
+    B.and_ b (List.init n (fun i -> B.xnor_ b [ a.(i); c.(i) ]))
+  in
+  let low_eq = eq_bits head tail ptr_bits in
+  let wrap_eq = B.xnor_ b [ head.(w - 1); tail.(w - 1) ] in
+  let wrap_ne = B.not_ b wrap_eq in
+  let empty = B.and_ b ~name:"empty" [ low_eq; wrap_eq ] in
+  let full = B.and_ b ~name:"full" [ low_eq; wrap_ne ] in
+  (* guarded operations *)
+  let not_full = B.not_ b full in
+  let not_empty = B.not_ b empty in
+  let do_push = B.and_ b ~name:"do_push" [ push; not_full ] in
+  let do_pop = B.and_ b ~name:"do_pop" [ pop; not_empty ] in
+  let tail_next = incremented b tail do_push in
+  let head_next = incremented b head do_pop in
+  Array.iteri (fun i l -> B.set_latch_data b l head_next.(i)) head;
+  Array.iteri (fun i l -> B.set_latch_data b l tail_next.(i)) tail;
+  B.output b full;
+  B.output b empty;
+  B.finalize b

@@ -1,0 +1,17 @@
+(** Synchronous FIFO controller.
+
+    A depth-[2^ptr_bits] FIFO's {e control} logic (the datapath RAM is
+    irrelevant to reachability): gray-free binary head/tail pointers
+    with an extra wrap bit each, push/pop inputs, full/empty flags, and
+    flag-guarded pointer updates. The classic controller-verification
+    benchmark: its interesting invariants ("never full and empty",
+    "occupancy bounded") are preimage/reachability queries over an
+    irregular, mux-heavy next-state function.
+
+    State bits (creation order): head pointer (ptr_bits+1 bits, wrap bit
+    last), then tail pointer (same layout). Occupancy is
+    [(tail - head) mod 2^(ptr_bits+1)]. Outputs: [full], [empty]. *)
+
+(** [controller ~ptr_bits ()] builds the FIFO control circuit for
+    [2^ptr_bits] entries; [ptr_bits >= 1]. Inputs: [push], [pop]. *)
+val controller : ptr_bits:int -> unit -> Ps_circuit.Netlist.t

@@ -1,0 +1,120 @@
+module B = Ps_circuit.Builder
+
+(* Traffic-light controller. Phases (p1 p0): 00 NS-green, 01 NS-yellow,
+   10 EW-green, 11 EW-yellow. A 2-bit timer counts in green phases;
+   green -> yellow when (timer full and cross traffic) ; yellow -> other
+   green unconditionally. *)
+let traffic () =
+  let b = B.create () in
+  let car_ns = B.input b "car_ns" in
+  let car_ew = B.input b "car_ew" in
+  let p0 = B.latch b "p0" in
+  let p1 = B.latch b "p1" in
+  let t0 = B.latch b "t0" in
+  let t1 = B.latch b "t1" in
+  let np0 = B.not_ b p0 in
+  let np1 = B.not_ b p1 in
+  let ns_green = B.and_ b ~name:"ns_green" [ np1; np0 ] in
+  let ns_yellow = B.and_ b ~name:"ns_yellow" [ np1; p0 ] in
+  let ew_green = B.and_ b ~name:"ew_green" [ p1; np0 ] in
+  let ew_yellow = B.and_ b ~name:"ew_yellow" [ p1; p0 ] in
+  let timer_full = B.and_ b ~name:"timer_full" [ t1; t0 ] in
+  (* Timer increments during greens, clears elsewhere. *)
+  let in_green = B.or_ b [ ns_green; ew_green ] in
+  let t0n = B.xor_ b [ t0; in_green ] in
+  let carry = B.and_ b [ t0; in_green ] in
+  let t1n = B.xor_ b [ t1; carry ] in
+  let clear = B.or_ b [ ns_yellow; ew_yellow ] in
+  let nclear = B.not_ b clear in
+  B.set_latch_data b t0 (B.and_ b [ t0n; nclear ]);
+  B.set_latch_data b t1 (B.and_ b [ t1n; nclear ]);
+  (* Phase transitions. *)
+  let ns_to_yellow = B.and_ b ~name:"ns_adv" [ ns_green; timer_full; car_ew ] in
+  let ew_to_yellow = B.and_ b ~name:"ew_adv" [ ew_green; timer_full; car_ns ] in
+  (* next p1: EW side active next — entered from ns_yellow, kept during
+     ew_green unless leaving ew_yellow. *)
+  let stay_ew = B.and_ b [ ew_green; B.not_ b ew_to_yellow ] in
+  let p1n = B.or_ b ~name:"p1n" [ ns_yellow; stay_ew; ew_to_yellow ] in
+  (* next p0: yellow phases. *)
+  let p0n = B.or_ b ~name:"p0n" [ ns_to_yellow; ew_to_yellow ] in
+  B.set_latch_data b p1 p1n;
+  B.set_latch_data b p0 p0n;
+  let go_ns = B.buf b ~name:"go_ns" ns_green in
+  let go_ew = B.buf b ~name:"go_ew" ew_green in
+  B.output b go_ns;
+  B.output b go_ew;
+  B.finalize b
+
+let seq_detector ~pattern () =
+  let len = String.length pattern in
+  if len = 0 then invalid_arg "Fsm.seq_detector: empty pattern";
+  String.iter
+    (fun c -> if c <> '0' && c <> '1' then invalid_arg "Fsm.seq_detector: bad pattern")
+    pattern;
+  let b = B.create () in
+  let din = B.input b "din" in
+  let ndin = B.not_ b din in
+  (* One-hot progress: m.(k) = "first k symbols matched just now". *)
+  let m = Array.init len (fun i -> B.latch b (Printf.sprintf "m%d" i)) in
+  let bit_matches k = if pattern.[k] = '1' then din else ndin in
+  Array.iteri
+    (fun k mk ->
+      let prev = if k = 0 then None else Some m.(k - 1) in
+      let next =
+        match prev with
+        | None -> bit_matches 0
+        | Some p -> B.and_ b [ p; bit_matches k ]
+      in
+      (* Restart-on-mismatch machine (not full KMP: a mismatch falls back
+         to trying the first symbol, which keeps the logic small but still
+         irregular). *)
+      B.set_latch_data b mk next)
+    m;
+  let hit = B.buf b ~name:"hit" m.(len - 1) in
+  B.output b hit;
+  B.finalize b
+
+let arbiter ~clients () =
+  if clients < 2 || clients > 8 then invalid_arg "Fsm.arbiter: 2..8 clients";
+  let b = B.create () in
+  let reqs = Array.init clients (fun i -> B.input b (Printf.sprintf "r%d" i)) in
+  (* Rotating priority pointer, one-hot. *)
+  let ptr = Array.init clients (fun i -> B.latch b (Printf.sprintf "p%d" i)) in
+  let grants = Array.init clients (fun i -> B.latch b (Printf.sprintf "g%d" i)) in
+  (* grant_i = req_i and no higher-priority request, where priority order
+     starts at the pointer. For each i: grant_i = OR over pointer
+     positions j of (ptr_j and req_i and none of req_{j..i-1 cyclic}). *)
+  let grant_terms = Array.make clients [] in
+  for j = 0 to clients - 1 do
+    (* positions in priority order starting at j *)
+    let blocked = ref [] in (* requests ahead in priority *)
+    for d = 0 to clients - 1 do
+      let i = (j + d) mod clients in
+      let term =
+        if !blocked = [] then B.and_ b [ ptr.(j); reqs.(i) ]
+        else begin
+          let none_ahead = B.nor_ b !blocked in
+          B.and_ b [ ptr.(j); reqs.(i); none_ahead ]
+        end
+      in
+      grant_terms.(i) <- term :: grant_terms.(i);
+      blocked := reqs.(i) :: !blocked
+    done
+  done;
+  let grant_next =
+    Array.mapi
+      (fun i terms -> B.or_ b ~name:(Printf.sprintf "gn%d" i) terms)
+      grant_terms
+  in
+  Array.iteri (fun i g -> B.set_latch_data b g grant_next.(i)) grants;
+  (* Pointer advances past the granted client. *)
+  let any_req = B.or_ b ~name:"any_req" (Array.to_list reqs) in
+  let no_req = B.not_ b any_req in
+  Array.iteri
+    (fun i p ->
+      let from_grant = grant_next.((i + clients - 1) mod clients) in
+      let hold = B.and_ b [ p; no_req ] in
+      B.set_latch_data b p (B.or_ b [ from_grant; hold ]))
+    ptr;
+  B.output b (B.or_ b ~name:"any_grant" (Array.to_list grant_next));
+  B.finalize b

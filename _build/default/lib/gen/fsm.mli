@@ -1,0 +1,22 @@
+(** Small controller FSMs — the "irregular logic" benchmarks.
+
+    These are the kinds of control machines the DATE-era benchmark suites
+    are full of: a traffic-light controller, a serial pattern detector,
+    and a round-robin arbiter. Their preimages are small and asymmetric,
+    which is the regime where BDDs do well and enumeration overheads
+    dominate — the other end of the spectrum from the counters. *)
+
+(** [traffic ()] is a two-road traffic-light controller: state = 2 bits
+    of phase + 2 timer bits; inputs: [car_ns], [car_ew]; outputs:
+    [go_ns], [go_ew]. *)
+val traffic : unit -> Ps_circuit.Netlist.t
+
+(** [seq_detector ~pattern ()] detects [pattern] (MSB first) on the
+    serial input [din]; one-hot progress register, output [hit].
+    [pattern] must be a non-empty string of ['0']/['1']. *)
+val seq_detector : pattern:string -> unit -> Ps_circuit.Netlist.t
+
+(** [arbiter ~clients ()] is a round-robin arbiter for 2–8 clients:
+    request inputs [r0..], grant state bits [g0..], a rotating priority
+    pointer. Output: OR of grants. *)
+val arbiter : clients:int -> unit -> Ps_circuit.Netlist.t

@@ -1,0 +1,11 @@
+(** Embedded ISCAS-89 circuits.
+
+    Only [s27] — the one suite member small enough to reproduce from the
+    literature verbatim; the larger suite members are {e substituted} by
+    the parametric generators (see DESIGN.md, "Substitutions"). *)
+
+(** The genuine ISCAS-89 s27: 4 inputs, 3 DFFs, 10 gates, 1 output. *)
+val s27 : unit -> Ps_circuit.Netlist.t
+
+(** The raw [.bench] text of {!s27}. *)
+val s27_bench : string

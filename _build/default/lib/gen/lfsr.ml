@@ -1,0 +1,55 @@
+module B = Ps_circuit.Builder
+
+let default_taps = function
+  | 3 -> [ 2; 1 ]
+  | 4 -> [ 3; 2 ]
+  | 5 -> [ 4; 2 ]
+  | 6 -> [ 5; 4 ]
+  | 7 -> [ 6; 5 ]
+  | 8 -> [ 7; 5; 4; 3 ]
+  | 16 -> [ 15; 14; 12; 3 ]
+  | bits when bits >= 2 -> [ bits - 1; 0 ]
+  | _ -> [ 0 ]
+
+let check bits taps =
+  if bits < 2 then invalid_arg "Lfsr: bits must be >= 2";
+  if taps = [] then invalid_arg "Lfsr: need at least one tap";
+  List.iter
+    (fun t -> if t < 0 || t >= bits then invalid_arg "Lfsr: tap out of range")
+    taps
+
+let fibonacci ~bits ~taps () =
+  check bits taps;
+  let b = B.create () in
+  let q = Array.init bits (fun i -> B.latch b (Printf.sprintf "q%d" i)) in
+  let feedback =
+    B.xor_ b ~name:"fb" (List.map (fun t -> q.(t)) (List.sort_uniq compare taps))
+  in
+  Array.iteri
+    (fun i qi ->
+      if i = 0 then B.set_latch_data b qi feedback
+      else B.set_latch_data b qi q.(i - 1))
+    q;
+  B.output b q.(bits - 1);
+  B.finalize b
+
+let galois ~bits ~taps () =
+  check bits taps;
+  let b = B.create () in
+  let q = Array.init bits (fun i -> B.latch b (Printf.sprintf "q%d" i)) in
+  let out = q.(bits - 1) in
+  let taps = List.sort_uniq compare taps in
+  Array.iteri
+    (fun i qi ->
+      let shifted = if i = 0 then out else q.(i - 1) in
+      let next =
+        if i > 0 && List.mem i taps then
+          B.xor_ b ~name:(Printf.sprintf "fx%d" i) [ shifted; out ]
+        else shifted
+      in
+      (* Latch data must be a net; reuse shifted directly when no tap.
+         q.(i-1) and out are latch outputs, legal as data nets. *)
+      B.set_latch_data b qi next)
+    q;
+  B.output b out;
+  B.finalize b

@@ -1,0 +1,18 @@
+(** Linear-feedback shift registers.
+
+    LFSRs exercise XOR-dominated next-state logic — the regime where
+    justification lifting finds {e no} don't-cares (XOR gates require all
+    fanins), isolating the benefit of success-driven sharing. *)
+
+(** [fibonacci ~bits ~taps ()] shifts [q0 -> q1 -> ...]; the new [q0] is
+    the XOR of the tapped stages. [taps] are stage indices in
+    [0 .. bits-1]; at least one is required. *)
+val fibonacci : bits:int -> taps:int list -> unit -> Ps_circuit.Netlist.t
+
+(** [galois ~bits ~taps ()] is the Galois form: the output stage XORs
+    into each tapped stage as the register shifts. *)
+val galois : bits:int -> taps:int list -> unit -> Ps_circuit.Netlist.t
+
+(** [default_taps bits] is a reasonable tap set (maximal-length where
+    known: 3,4,5,6,7,8,16 bits; otherwise [bits-1] and [0]). *)
+val default_taps : int -> int list

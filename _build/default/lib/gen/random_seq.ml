@@ -1,0 +1,61 @@
+module B = Ps_circuit.Builder
+module G = Ps_circuit.Gate
+module R = Ps_util.Rng
+
+type spec = {
+  n_inputs : int;
+  n_latches : int;
+  n_gates : int;
+  max_arity : int;
+  xor_share : float;
+  seed : int;
+}
+
+let default_spec =
+  { n_inputs = 4; n_latches = 8; n_gates = 40; max_arity = 3; xor_share = 0.15; seed = 1 }
+
+let generate spec =
+  if spec.n_inputs < 1 || spec.n_latches < 1 || spec.n_gates < 1 then
+    invalid_arg "Random_seq.generate: need at least one input, latch, gate";
+  if spec.max_arity < 2 then invalid_arg "Random_seq.generate: max_arity >= 2";
+  let rng = R.create ~seed:spec.seed in
+  let b = B.create () in
+  let inputs =
+    Array.init spec.n_inputs (fun i -> B.input b (Printf.sprintf "x%d" i))
+  in
+  let latches =
+    Array.init spec.n_latches (fun i -> B.latch b (Printf.sprintf "q%d" i))
+  in
+  let pool = ref (Array.to_list inputs @ Array.to_list latches) in
+  let pool_arr () = Array.of_list !pool in
+  let last = ref inputs.(0) in
+  for _ = 1 to spec.n_gates do
+    let arr = pool_arr () in
+    let pick () = arr.(R.int rng (Array.length arr)) in
+    let kind =
+      if R.float rng < spec.xor_share then (if R.bool rng then G.Xor else G.Xnor)
+      else R.pick rng [ G.And; G.Or; G.Nand; G.Nor; G.Not ]
+    in
+    let arity =
+      match kind with
+      | G.Not | G.Buf -> 1
+      | _ -> 2 + R.int rng (spec.max_arity - 1)
+    in
+    let fanins = List.init arity (fun _ -> pick ()) in
+    let g = B.gate b kind fanins in
+    pool := g :: !pool;
+    last := g
+  done;
+  (* Latch next-state: biased toward recently created (deep) gates. *)
+  let arr = pool_arr () in
+  Array.iter
+    (fun l ->
+      (* arr is most-recent-first; bias to the front third. *)
+      let k = Array.length arr in
+      let idx =
+        if R.float rng < 0.7 then R.int rng (max 1 (k / 3)) else R.int rng k
+      in
+      B.set_latch_data b l arr.(idx))
+    latches;
+  B.output b !last;
+  B.finalize b

@@ -1,0 +1,23 @@
+(** Seeded random sequential netlists.
+
+    Random reconvergent gate clouds feeding latches — the stress
+    workload: no regular structure for any engine to exploit, heavy
+    reconvergence so success-driven signatures repeat, mixed gate types
+    so lifting finds some (but not all) don't-cares. Fully determined by
+    the seed. *)
+
+type spec = {
+  n_inputs : int;
+  n_latches : int;
+  n_gates : int;
+  max_arity : int;       (** >= 2 *)
+  xor_share : float;     (** probability of XOR/XNOR picks, 0..1 *)
+  seed : int;
+}
+
+val default_spec : spec
+
+(** [generate spec] builds the netlist: a random DAG over inputs and
+    latch outputs, random gates, each latch data driven by a random deep
+    net, output = last gate. *)
+val generate : spec -> Ps_circuit.Netlist.t

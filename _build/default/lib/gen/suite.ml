@@ -1,0 +1,80 @@
+type entry = {
+  name : string;
+  circuit : Ps_circuit.Netlist.t Lazy.t;
+  description : string;
+}
+
+let e name description thunk = { name; circuit = Lazy.from_fun thunk; description }
+
+let all =
+  [
+    e "s27" "ISCAS-89 s27 (genuine)" (fun () -> Iscas.s27 ());
+    e "count4" "4-bit binary counter with enable" (fun () ->
+        Counters.binary ~bits:4 ());
+    e "count8" "8-bit binary counter with enable" (fun () ->
+        Counters.binary ~bits:8 ());
+    e "count12" "12-bit binary counter with enable" (fun () ->
+        Counters.binary ~bits:12 ());
+    e "count16" "16-bit binary counter with enable" (fun () ->
+        Counters.binary ~bits:16 ());
+    e "mod10" "4-bit modulo-10 counter" (fun () -> Counters.modulo ~bits:4 ~m:10 ());
+    e "mod100" "7-bit modulo-100 counter" (fun () ->
+        Counters.modulo ~bits:7 ~m:100 ());
+    e "johnson8" "8-bit Johnson counter" (fun () -> Counters.johnson ~bits:8 ());
+    e "johnson16" "16-bit Johnson counter" (fun () -> Counters.johnson ~bits:16 ());
+    e "gray8" "8-bit Gray-code counter" (fun () -> Counters.gray ~bits:8 ());
+    e "lfsr8" "8-bit Fibonacci LFSR" (fun () ->
+        Lfsr.fibonacci ~bits:8 ~taps:(Lfsr.default_taps 8) ());
+    e "lfsr16" "16-bit Fibonacci LFSR" (fun () ->
+        Lfsr.fibonacci ~bits:16 ~taps:(Lfsr.default_taps 16) ());
+    e "galois8" "8-bit Galois LFSR" (fun () ->
+        Lfsr.galois ~bits:8 ~taps:(Lfsr.default_taps 8) ());
+    e "traffic" "traffic-light controller" (fun () -> Fsm.traffic ());
+    e "seqdet" "serial '1011' sequence detector" (fun () ->
+        Fsm.seq_detector ~pattern:"1011" ());
+    e "seqdet8" "serial '10110111' sequence detector" (fun () ->
+        Fsm.seq_detector ~pattern:"10110111" ());
+    e "arbiter4" "4-client round-robin arbiter" (fun () -> Fsm.arbiter ~clients:4 ());
+    e "arbiter6" "6-client round-robin arbiter" (fun () -> Fsm.arbiter ~clients:6 ());
+    e "fifo4" "4-entry FIFO controller" (fun () -> Fifo.controller ~ptr_bits:2 ());
+    e "fifo16" "16-entry FIFO controller" (fun () -> Fifo.controller ~ptr_bits:4 ());
+    e "rand_a" "random sequential cloud (6 latches)" (fun () ->
+        Random_seq.generate
+          { Random_seq.default_spec with n_inputs = 3; n_latches = 6; n_gates = 30; seed = 11 });
+    e "rand_b" "random sequential cloud (10 latches)" (fun () ->
+        Random_seq.generate
+          { Random_seq.default_spec with n_inputs = 5; n_latches = 10; n_gates = 60; seed = 22 });
+    e "rand_c" "random sequential cloud (14 latches, XOR-heavy)" (fun () ->
+        Random_seq.generate
+          {
+            Random_seq.default_spec with
+            n_inputs = 6;
+            n_latches = 14;
+            n_gates = 90;
+            xor_share = 0.3;
+            seed = 33;
+          });
+  ]
+
+let names = List.map (fun e -> e.name) all
+
+let find name = List.find (fun e -> e.name = name) all
+
+let small =
+  List.filter
+    (fun e -> List.mem e.name [ "s27"; "count4"; "mod10"; "traffic"; "seqdet"; "rand_a"; "johnson8"; "gray8"; "count8"; "lfsr8"; "galois8"; "fifo4" ])
+    all
+
+let medium =
+  List.filter
+    (fun e ->
+      List.mem e.name
+        [ "s27"; "count8"; "count12"; "mod100"; "johnson16"; "gray8"; "lfsr16"; "traffic"; "seqdet8"; "arbiter4"; "arbiter6"; "fifo4"; "fifo16"; "rand_b"; "rand_c" ])
+    all
+
+let n_state_bits e =
+  List.length (Ps_circuit.Netlist.latches (Lazy.force e.circuit))
+
+let default_target e = Targets.upper_half ~bits:(n_state_bits e)
+
+let tight_target e = Targets.all_ones ~bits:(n_state_bits e)

@@ -1,0 +1,32 @@
+(** The benchmark suite: named circuits + canonical targets.
+
+    This is the Table-1 inventory — every experiment in [bench/] iterates
+    over (a subset of) this list. All entries are deterministic. *)
+
+type entry = {
+  name : string;
+  circuit : Ps_circuit.Netlist.t Lazy.t;
+  description : string;
+}
+
+(** The full suite: s27, counters (binary/modulo/Johnson/Gray), LFSRs,
+    controller FSMs, arbiter, random sequential clouds. *)
+val all : entry list
+
+(** [find name] — lookup by name. Raises [Not_found]. *)
+val find : string -> entry
+
+(** [names] in suite order. *)
+val names : string list
+
+(** Smaller selections used by individual experiments. *)
+val small : entry list   (** state space ≤ 2^8: cross-checkable vs BDD *)
+
+val medium : entry list  (** the main comparison set *)
+
+(** [default_target e] is a canonical target for the entry: "upper half"
+    (top state bit set) — loose enough to produce many preimages. *)
+val default_target : entry -> Targets.t
+
+(** [tight_target e] is the single all-ones state. *)
+val tight_target : entry -> Targets.t

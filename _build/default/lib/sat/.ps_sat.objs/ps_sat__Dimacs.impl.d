@@ -1,0 +1,1 @@
+lib/sat/dimacs.ml: Array Buffer Cnf Fun List Lit Printf String

@@ -1,0 +1,1 @@
+lib/sat/simplify.ml: Array Cnf Hashtbl Int List Lit Option Set

@@ -1,0 +1,1 @@
+lib/sat/solver.ml: Array Cnf List Lit Ps_util

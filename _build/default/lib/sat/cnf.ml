@@ -1,0 +1,61 @@
+type t = {
+  nvars : int;
+  clauses : Lit.t array list;
+}
+
+let empty = { nvars = 0; clauses = [] }
+
+let grow_nvars nvars lits =
+  List.fold_left (fun n l -> max n (Lit.var l + 1)) nvars lits
+
+let add_clause t lits =
+  { nvars = grow_nvars t.nvars lits; clauses = Array.of_list lits :: t.clauses }
+
+let of_clauses ~nvars cs = List.fold_left add_clause { empty with nvars } cs
+
+let nclauses t = List.length t.clauses
+
+let eval_clause c assignment =
+  Array.exists (fun l -> assignment.(Lit.var l) = Lit.sign l) c
+
+let eval t assignment =
+  if Array.length assignment < t.nvars then invalid_arg "Cnf.eval: assignment too short";
+  List.for_all (fun c -> eval_clause c assignment) t.clauses
+
+let iter_assignments n f =
+  if n > 22 then invalid_arg "Cnf: brute force limited to 22 variables";
+  let a = Array.make (max n 1) false in
+  for code = 0 to (1 lsl n) - 1 do
+    for v = 0 to n - 1 do
+      a.(v) <- (code lsr v) land 1 = 1
+    done;
+    f a
+  done
+
+let brute_force_models t =
+  let models = ref [] in
+  iter_assignments t.nvars (fun a -> if eval t a then models := Array.copy a :: !models);
+  List.rev !models
+
+let brute_force_sat t =
+  let exception Found in
+  try
+    iter_assignments t.nvars (fun a -> if eval t a then raise Found);
+    false
+  with Found -> true
+
+let count_projected_models t vars =
+  let seen = Hashtbl.create 64 in
+  iter_assignments t.nvars (fun a ->
+      if eval t a then begin
+        let key = List.map (fun v -> a.(v)) vars in
+        if not (Hashtbl.mem seen key) then Hashtbl.add seen key ()
+      end);
+  Hashtbl.length seen
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>p cnf %d %d" t.nvars (nclauses t);
+  List.iter
+    (fun c -> Format.fprintf ppf "@,%a" Lit.pp_clause (Array.to_list c))
+    (List.rev t.clauses);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,46 @@
+(** CNF formulas as plain data.
+
+    [Cnf.t] is the interchange format between the circuit encoder, the
+    solver, and the test oracles: a variable count plus a list of clauses
+    (arrays of {!Lit.t}). It also provides the brute-force reference
+    semantics (evaluation, satisfiability, model enumeration) that the
+    test suite checks every engine against. *)
+
+type t = {
+  nvars : int;
+  clauses : Lit.t array list;  (** in reverse insertion order *)
+}
+
+val empty : t
+
+(** [add_clause t lits] appends a clause; variables are grown as needed. *)
+val add_clause : t -> Lit.t list -> t
+
+(** [of_clauses ~nvars cs] builds a formula; [nvars] may be 0 and is grown
+    to cover all mentioned variables. *)
+val of_clauses : nvars:int -> Lit.t list list -> t
+
+val nclauses : t -> int
+
+(** [eval t assignment] is the truth value of [t] under a total assignment
+    ([assignment.(v)] is the value of variable [v]).
+    Raises [Invalid_argument] if the assignment is too short. *)
+val eval : t -> bool array -> bool
+
+(** [eval_clause c assignment] is the truth value of one clause. *)
+val eval_clause : Lit.t array -> bool array -> bool
+
+(** [brute_force_models t] enumerates all satisfying total assignments by
+    exhaustive search — the reference oracle. Only usable for small
+    [nvars] (raises [Invalid_argument] above 22 variables). *)
+val brute_force_models : t -> bool array list
+
+(** [brute_force_sat t] is [true] iff some total assignment satisfies [t]. *)
+val brute_force_sat : t -> bool
+
+(** [count_models_on t vars] counts, by brute force over all [t.nvars]
+    variables, the number of distinct projections onto [vars] that extend
+    to a model of [t]. *)
+val count_projected_models : t -> Lit.var list -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,114 @@
+let parse_tokens tokens =
+  let nvars = ref 0 in
+  let header_seen = ref false in
+  let clauses = ref [] in
+  let current = ref [] in
+  let rec loop = function
+    | [] ->
+      if !current <> [] then failwith "Dimacs: unterminated clause (missing 0)";
+      Cnf.of_clauses ~nvars:!nvars (List.rev !clauses)
+    | "p" :: "cnf" :: nv :: _nc :: rest ->
+      if !header_seen then failwith "Dimacs: duplicate header";
+      header_seen := true;
+      (match int_of_string_opt nv with
+      | Some n when n >= 0 -> nvars := n
+      | _ -> failwith "Dimacs: bad variable count");
+      loop rest
+    | "p" :: _ -> failwith "Dimacs: malformed header"
+    | tok :: rest -> (
+      match int_of_string_opt tok with
+      | None -> failwith (Printf.sprintf "Dimacs: unexpected token %S" tok)
+      | Some 0 ->
+        clauses := List.rev !current :: !clauses;
+        current := [];
+        loop rest
+      | Some n ->
+        current := Lit.of_dimacs n :: !current;
+        loop rest)
+  in
+  loop tokens
+
+let is_comment line =
+  let line = String.trim line in
+  String.length line > 0 && line.[0] = 'c'
+
+let strip_comments s =
+  String.split_on_char '\n' s
+  |> List.filter (fun line -> not (is_comment line))
+  |> String.concat " "
+
+(* [c p show v1 v2 ... 0] — the projected-counting convention. Several
+   show lines concatenate. *)
+let show_line_vars line =
+  let tokens =
+    String.trim line |> String.split_on_char ' '
+    |> List.filter (fun t -> t <> "")
+  in
+  match tokens with
+  | "c" :: "p" :: "show" :: rest ->
+    Some
+      (List.filter_map
+         (fun t ->
+           match int_of_string_opt t with
+           | Some 0 | None -> None
+           | Some n when n > 0 -> Some (n - 1)
+           | Some _ -> failwith "Dimacs: negative variable in 'c p show'")
+         rest)
+  | _ -> None
+
+let projection_of s =
+  let vars =
+    String.split_on_char '\n' s |> List.filter_map show_line_vars |> List.concat
+  in
+  match vars with [] -> None | vs -> Some vs
+
+let parse_string s =
+  strip_comments s
+  |> String.split_on_char ' '
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.concat_map (String.split_on_char '\r')
+  |> List.filter (fun tok -> tok <> "")
+  |> parse_tokens
+
+let parse_string_projected s = (parse_string s, projection_of s)
+
+let parse_file_projected path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      let buf = really_input_string ic len in
+      parse_string_projected buf)
+
+let parse_channel ic =
+  let buf = Buffer.create 4096 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 1
+     done
+   with End_of_file -> ());
+  parse_string (Buffer.contents buf)
+
+let parse_file path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> parse_channel ic)
+
+let to_string cnf =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "p cnf %d %d\n" cnf.Cnf.nvars (Cnf.nclauses cnf));
+  List.iter
+    (fun c ->
+      Array.iter
+        (fun l -> Buffer.add_string buf (string_of_int (Lit.to_dimacs l) ^ " "))
+        c;
+      Buffer.add_string buf "0\n")
+    (List.rev cnf.Cnf.clauses);
+  Buffer.contents buf
+
+let write_file path cnf =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string cnf))

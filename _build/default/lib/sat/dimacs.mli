@@ -1,0 +1,30 @@
+(** DIMACS CNF reader/writer.
+
+    Standard [p cnf <vars> <clauses>] format with [c] comment lines;
+    clauses may span lines and are terminated by [0]. *)
+
+(** [parse_string s] reads a DIMACS document.
+    Raises [Failure] with a message on malformed input. *)
+val parse_string : string -> Cnf.t
+
+(** [parse_string_projected s] additionally returns the projection set
+    declared by [c p show v1 v2 ... 0] comment lines (the projected
+    model-counting convention), as 0-based variables in declaration
+    order; [None] when no such line exists. *)
+val parse_string_projected : string -> Cnf.t * Lit.var list option
+
+(** [parse_file_projected path] — file variant of
+    {!parse_string_projected}. *)
+val parse_file_projected : string -> Cnf.t * Lit.var list option
+
+(** [parse_channel ic] reads a DIMACS document from a channel. *)
+val parse_channel : in_channel -> Cnf.t
+
+(** [parse_file path] reads a DIMACS file. *)
+val parse_file : string -> Cnf.t
+
+(** [to_string cnf] renders [cnf] in DIMACS format. *)
+val to_string : Cnf.t -> string
+
+(** [write_file path cnf] writes [cnf] to [path]. *)
+val write_file : string -> Cnf.t -> unit

@@ -1,0 +1,27 @@
+type t = int
+type var = int
+
+let make v sign =
+  if v < 0 then invalid_arg "Lit.make: negative variable";
+  (2 * v) + if sign then 0 else 1
+
+let pos v = make v true
+let neg v = make v false
+let var l = l lsr 1
+let sign l = l land 1 = 0
+let negate l = l lxor 1
+
+let of_dimacs n =
+  if n = 0 then invalid_arg "Lit.of_dimacs: zero";
+  if n > 0 then pos (n - 1) else neg (-n - 1)
+
+let to_dimacs l = if sign l then var l + 1 else -(var l + 1)
+
+let to_string l = string_of_int (to_dimacs l)
+
+let pp ppf l = Format.pp_print_string ppf (to_string l)
+
+let pp_clause ppf lits =
+  Format.fprintf ppf "(@[%a@])"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "@ ") pp)
+    lits

@@ -1,0 +1,37 @@
+(** Propositional literals.
+
+    A variable is a non-negative [int]; a literal packs a variable and a
+    sign into one [int]: literal [2*v] is the positive literal of variable
+    [v], literal [2*v + 1] the negative one. This is the MiniSat encoding:
+    negation is one [lxor], and literals index arrays directly. *)
+
+type t = int
+type var = int
+
+(** [make v sign] is the literal of [v], positive when [sign]. *)
+val make : var -> bool -> t
+
+(** [pos v] is the positive literal of [v]. *)
+val pos : var -> t
+
+(** [neg v] is the negative literal of [v]. *)
+val neg : var -> t
+
+(** [var l] is the variable of [l]. *)
+val var : t -> var
+
+(** [sign l] is [true] iff [l] is positive. *)
+val sign : t -> bool
+
+(** [negate l] is the complement of [l]. *)
+val negate : t -> t
+
+(** [of_dimacs n] converts a non-zero DIMACS literal (±(v+1)) to [t]. *)
+val of_dimacs : int -> t
+
+(** [to_dimacs l] is the DIMACS form of [l]. *)
+val to_dimacs : t -> int
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val pp_clause : Format.formatter -> t list -> unit

@@ -1,0 +1,197 @@
+type report = {
+  fixed : Lit.t list;
+  removed_clauses : int;
+  removed_literals : int;
+  unsat : bool;
+}
+
+module LitSet = Set.Make (Int)
+
+let clause_set c = Array.fold_left (fun s l -> LitSet.add l s) LitSet.empty c
+
+let is_tautology s = LitSet.exists (fun l -> LitSet.mem (Lit.negate l) s) s
+
+(* Unit propagation over a clause-set representation. Returns the fixed
+   assignment and the surviving simplified clauses, or None on
+   contradiction. *)
+let propagate_units clauses =
+  let fixed : (Lit.var, bool) Hashtbl.t = Hashtbl.create 32 in
+  let contradiction = ref false in
+  let changed = ref true in
+  let clauses = ref clauses in
+  let lit_value l =
+    match Hashtbl.find_opt fixed (Lit.var l) with
+    | None -> None
+    | Some b -> Some (b = Lit.sign l)
+  in
+  while !changed && not !contradiction do
+    changed := false;
+    clauses :=
+      List.filter_map
+        (fun s ->
+          let s' =
+            LitSet.filter (fun l -> lit_value l <> Some false) s
+          in
+          if LitSet.exists (fun l -> lit_value l = Some true) s' then None
+          else if LitSet.is_empty s' then begin
+            contradiction := true;
+            Some s'
+          end
+          else if LitSet.cardinal s' = 1 then begin
+            let l = LitSet.choose s' in
+            (match lit_value l with
+            | Some false -> contradiction := true
+            | Some true -> ()
+            | None ->
+              Hashtbl.replace fixed (Lit.var l) (Lit.sign l);
+              changed := true);
+            None
+          end
+          else Some s')
+        !clauses
+  done;
+  if !contradiction then None else Some (fixed, !clauses)
+
+(* Subsumption + self-subsuming resolution, quadratic with a size
+   pre-sort so small clauses kill big ones early. *)
+let strengthen clauses removed_literals =
+  let arr =
+    Array.of_list clauses
+    |> Array.map (fun s -> ref (Some s))
+  in
+  Array.sort
+    (fun a b ->
+      match (!a, !b) with
+      | Some x, Some y -> compare (LitSet.cardinal x) (LitSet.cardinal y)
+      | _ -> 0)
+    arr;
+  let n = Array.length arr in
+  let removed_clauses = ref 0 in
+  for i = 0 to n - 1 do
+    match !(arr.(i)) with
+    | None -> ()
+    | Some small ->
+      for j = 0 to n - 1 do
+        if j <> i then begin
+          match !(arr.(j)) with
+          | None -> ()
+          | Some big ->
+            if LitSet.subset small big then begin
+              arr.(j) := None;
+              incr removed_clauses
+            end
+            else begin
+              (* self-subsumption: small \ {l} ⊆ big and ¬l ∈ big ⇒ drop ¬l *)
+              LitSet.iter
+                (fun l ->
+                  match !(arr.(j)) with
+                  | Some big when LitSet.mem (Lit.negate l) big ->
+                    if LitSet.subset (LitSet.remove l small) big then begin
+                      arr.(j) := Some (LitSet.remove (Lit.negate l) big);
+                      incr removed_literals
+                    end
+                  | _ -> ())
+                small
+            end
+        end
+      done
+  done;
+  let out = Array.to_list arr |> List.filter_map (fun r -> !r) in
+  (out, !removed_clauses)
+
+let pure_literal_pass clauses fixed =
+  let polarity : (Lit.var, int) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun s ->
+      LitSet.iter
+        (fun l ->
+          let v = Lit.var l in
+          let bit = if Lit.sign l then 1 else 2 in
+          Hashtbl.replace polarity v
+            (bit lor Option.value ~default:0 (Hashtbl.find_opt polarity v)))
+        s)
+    clauses;
+  let pure = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun v pol ->
+      if (pol = 1 || pol = 2) && not (Hashtbl.mem fixed v) then
+        Hashtbl.replace pure v (pol = 1))
+    polarity;
+  if Hashtbl.length pure = 0 then clauses
+  else
+    List.filter
+      (fun s ->
+        not
+          (LitSet.exists
+             (fun l ->
+               match Hashtbl.find_opt pure (Lit.var l) with
+               | Some b -> b = Lit.sign l
+               | None -> false)
+             s))
+      clauses
+
+let simplify ?(pure_literals = false) cnf =
+  let removed_literals = ref 0 in
+  let original_clauses = Cnf.nclauses cnf in
+  let original_literals =
+    List.fold_left (fun acc c -> acc + Array.length c) 0 cnf.Cnf.clauses
+  in
+  (* normalize: dedupe literals, drop tautologies *)
+  let clauses =
+    List.filter_map
+      (fun c ->
+        let s = clause_set c in
+        if is_tautology s then None else Some s)
+      cnf.Cnf.clauses
+  in
+  match propagate_units clauses with
+  | None ->
+    ( Cnf.of_clauses ~nvars:cnf.Cnf.nvars [ [] ],
+      {
+        fixed = [];
+        removed_clauses = original_clauses - 1;
+        removed_literals = original_literals;
+        unsat = true;
+      } )
+  | Some (fixed, clauses) ->
+    let clauses, _sub_removed = strengthen clauses removed_literals in
+    (* strengthening may create new units; run propagation once more *)
+    let result =
+      match propagate_units clauses with
+      | None -> None
+      | Some (fixed2, clauses) ->
+        Hashtbl.iter (fun v b -> Hashtbl.replace fixed v b) fixed2;
+        Some clauses
+    in
+    (match result with
+    | None ->
+      ( Cnf.of_clauses ~nvars:cnf.Cnf.nvars [ [] ],
+        {
+          fixed = [];
+          removed_clauses = original_clauses - 1;
+          removed_literals = original_literals;
+          unsat = true;
+        } )
+    | Some clauses ->
+      let clauses =
+        if pure_literals then pure_literal_pass clauses fixed else clauses
+      in
+      let fixed_lits =
+        Hashtbl.fold (fun v b acc -> Lit.make v b :: acc) fixed []
+        |> List.sort compare
+      in
+      let final =
+        List.map (fun l -> [ l ]) fixed_lits
+        @ List.map (fun s -> LitSet.elements s) clauses
+      in
+      let out = Cnf.of_clauses ~nvars:cnf.Cnf.nvars final in
+      let final_literals =
+        List.fold_left (fun acc c -> acc + Array.length c) 0 out.Cnf.clauses
+      in
+      ( out,
+        {
+          fixed = fixed_lits;
+          removed_clauses = original_clauses - Cnf.nclauses out;
+          removed_literals = original_literals - final_literals;
+          unsat = false;
+        } ))

@@ -1,0 +1,27 @@
+(** CNF preprocessing.
+
+    Standard SatELite-family techniques, restricted by default to those
+    that preserve {e logical equivalence} (same models over all
+    variables) — which all-solutions enumeration requires:
+
+    - tautology and duplicate-literal removal;
+    - unit propagation to fixpoint (derived units are kept as unit
+      clauses, so the model set is unchanged);
+    - clause subsumption;
+    - self-subsuming resolution (clause strengthening).
+
+    Pure-literal elimination only preserves satisfiability (it commits
+    free-choice variables), so it is opt-in and must not be used before
+    projected enumeration unless no projection variable is pure. *)
+
+type report = {
+  fixed : Lit.t list;        (** literals forced at the root *)
+  removed_clauses : int;
+  removed_literals : int;
+  unsat : bool;              (** a contradiction was derived *)
+}
+
+(** [simplify ?pure_literals cnf] returns the simplified formula and the
+    report. Without [pure_literals] (default [false]) the result has
+    exactly the same models as [cnf]. *)
+val simplify : ?pure_literals:bool -> Cnf.t -> Cnf.t * report

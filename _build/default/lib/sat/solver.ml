@@ -1,0 +1,587 @@
+module Stats = Ps_util.Stats
+module Vec = Ps_util.Vec
+module Iheap = Ps_util.Iheap
+module Luby = Ps_util.Luby
+
+type clause = {
+  mutable lits : Lit.t array;   (* watched literals at positions 0 and 1 *)
+  mutable act : float;
+  learnt : bool;
+}
+
+let dummy_clause = { lits = [||]; act = 0.0; learnt = false }
+
+type result = Sat | Unsat
+
+(* Value encoding: -1 = unassigned, 0 = false, 1 = true. *)
+let v_undef = -1
+
+type t = {
+  clauses : clause Vec.t;
+  learnts : clause Vec.t;
+  mutable watches : clause Vec.t array;  (* indexed by literal *)
+  assigns : int Vec.t;                   (* per var *)
+  level : int Vec.t;                     (* per var *)
+  reason : clause Vec.t;                 (* per var; dummy_clause = none *)
+  phase : bool Vec.t;                    (* per var, saved polarity *)
+  activity : float Vec.t;                (* per var *)
+  seen : bool Vec.t;                     (* per var, scratch for analyze *)
+  trail : Lit.t Vec.t;
+  trail_lim : int Vec.t;
+  mutable qhead : int;
+  order : Iheap.t;
+  mutable var_inc : float;
+  mutable cla_inc : float;
+  mutable ok : bool;
+  mutable max_learnts : float;
+  mutable model_arr : bool array;
+  mutable have_model : bool;
+  mutable n_conflicts : int;
+  mutable n_decisions : int;
+  mutable n_propagations : int;
+  mutable n_restarts : int;
+  mutable n_learnt : int;
+  mutable n_deleted : int;
+  mutable n_solve_calls : int;
+  mutable n_minimized : int;
+  mutable conflict_core : Lit.t list;
+}
+
+let var_decay = 1.0 /. 0.95
+let clause_decay = 1.0 /. 0.999
+let restart_base = 64
+
+let create () =
+  let activity = Vec.create ~dummy:0.0 in
+  {
+    clauses = Vec.create ~dummy:dummy_clause;
+    learnts = Vec.create ~dummy:dummy_clause;
+    watches = [||];
+    assigns = Vec.create ~dummy:v_undef;
+    level = Vec.create ~dummy:(-1);
+    reason = Vec.create ~dummy:dummy_clause;
+    phase = Vec.create ~dummy:false;
+    activity;
+    seen = Vec.create ~dummy:false;
+    trail = Vec.create ~dummy:(-1);
+    trail_lim = Vec.create ~dummy:(-1);
+    qhead = 0;
+    order = Iheap.create ~score:(fun v -> Vec.get activity v);
+    var_inc = 1.0;
+    cla_inc = 1.0;
+    ok = true;
+    max_learnts = 1000.0;
+    model_arr = [||];
+    have_model = false;
+    n_conflicts = 0;
+    n_decisions = 0;
+    n_propagations = 0;
+    n_restarts = 0;
+    n_learnt = 0;
+    n_deleted = 0;
+    n_solve_calls = 0;
+    n_minimized = 0;
+    conflict_core = [];
+  }
+
+let nvars t = Vec.size t.assigns
+
+let new_var t =
+  let v = nvars t in
+  Vec.push t.assigns v_undef;
+  Vec.push t.level (-1);
+  Vec.push t.reason dummy_clause;
+  Vec.push t.phase false;
+  Vec.push t.activity 0.0;
+  Vec.push t.seen false;
+  let nwatch = 2 * (v + 1) in
+  if Array.length t.watches < nwatch then begin
+    let watches' =
+      Array.init (max nwatch (2 * Array.length t.watches + 2)) (fun i ->
+          if i < Array.length t.watches then t.watches.(i)
+          else Vec.create ~dummy:dummy_clause)
+    in
+    t.watches <- watches'
+  end;
+  Iheap.insert t.order v;
+  v
+
+let ensure_vars t n =
+  while nvars t < n do
+    ignore (new_var t)
+  done
+
+let okay t = t.ok
+
+let n_clauses t = Vec.size t.clauses
+let n_learnts t = Vec.size t.learnts
+let stats t =
+  let st = Stats.create () in
+  Stats.add st "conflicts" t.n_conflicts;
+  Stats.add st "decisions" t.n_decisions;
+  Stats.add st "propagations" t.n_propagations;
+  Stats.add st "restarts" t.n_restarts;
+  Stats.add st "learnt" t.n_learnt;
+  Stats.add st "deleted" t.n_deleted;
+  Stats.add st "solve_calls" t.n_solve_calls;
+  Stats.add st "minimized_lits" t.n_minimized;
+  st
+
+(* --- assignment primitives ------------------------------------------- *)
+
+let value_var t v = Vec.get t.assigns v
+
+let value_lit t l =
+  let a = Vec.get t.assigns (Lit.var l) in
+  if a = v_undef then v_undef else if Lit.sign l then a else 1 - a
+
+let decision_level t = Vec.size t.trail_lim
+
+let new_decision_level t = Vec.push t.trail_lim (Vec.size t.trail)
+
+let enqueue t l reason =
+  match value_lit t l with
+  | 1 -> true
+  | 0 -> false
+  | _ ->
+    let v = Lit.var l in
+    Vec.set t.assigns v (if Lit.sign l then 1 else 0);
+    Vec.set t.level v (decision_level t);
+    Vec.set t.reason v reason;
+    Vec.push t.trail l;
+    true
+
+let cancel_until t lvl =
+  if decision_level t > lvl then begin
+    let bound = Vec.get t.trail_lim lvl in
+    for i = Vec.size t.trail - 1 downto bound do
+      let l = Vec.get t.trail i in
+      let v = Lit.var l in
+      Vec.set t.phase v (Lit.sign l);
+      Vec.set t.assigns v v_undef;
+      Vec.set t.reason v dummy_clause;
+      Vec.set t.level v (-1);
+      Iheap.insert t.order v
+    done;
+    Vec.shrink t.trail bound;
+    Vec.shrink t.trail_lim lvl;
+    t.qhead <- Vec.size t.trail
+  end
+
+(* --- activities ------------------------------------------------------ *)
+
+let var_bump t v =
+  let a = Vec.get t.activity v +. t.var_inc in
+  Vec.set t.activity v a;
+  if a > 1e100 then begin
+    for i = 0 to nvars t - 1 do
+      Vec.set t.activity i (Vec.get t.activity i *. 1e-100)
+    done;
+    t.var_inc <- t.var_inc *. 1e-100
+  end;
+  Iheap.decrease t.order v
+
+let var_decay_activity t = t.var_inc <- t.var_inc *. var_decay
+
+let cla_bump t c =
+  c.act <- c.act +. t.cla_inc;
+  if c.act > 1e20 then begin
+    Vec.iter (fun c -> c.act <- c.act *. 1e-20) t.learnts;
+    t.cla_inc <- t.cla_inc *. 1e-20
+  end
+
+let cla_decay_activity t = t.cla_inc <- t.cla_inc *. clause_decay
+
+(* --- clause attachment ------------------------------------------------ *)
+
+let attach t c =
+  t.watches.(Lit.negate c.lits.(0)) |> fun w -> Vec.push w c;
+  t.watches.(Lit.negate c.lits.(1)) |> fun w -> Vec.push w c
+
+let detach_from t c l =
+  let w = t.watches.(Lit.negate l) in
+  let rec find i =
+    if i >= Vec.size w then ()
+    else if Vec.get w i == c then Vec.swap_remove w i
+    else find (i + 1)
+  in
+  find 0
+
+let detach t c =
+  detach_from t c c.lits.(0);
+  detach_from t c c.lits.(1)
+
+(* --- propagation ------------------------------------------------------ *)
+
+let propagate t =
+  let conflict = ref None in
+  while !conflict = None && t.qhead < Vec.size t.trail do
+    let p = Vec.get t.trail t.qhead in
+    t.qhead <- t.qhead + 1;
+    t.n_propagations <- t.n_propagations + 1;
+    (* Literal [negate p] just became false; visit clauses watching it.
+       [watches.(p)] holds clauses [c] with [negate c.lits.(i) = p]. *)
+    let ws = t.watches.(p) in
+    let n = Vec.size ws in
+    let j = ref 0 in
+    let i = ref 0 in
+    while !i < n do
+      let c = Vec.get ws !i in
+      incr i;
+      let false_lit = Lit.negate p in
+      if c.lits.(0) = false_lit then begin
+        c.lits.(0) <- c.lits.(1);
+        c.lits.(1) <- false_lit
+      end;
+      (* Invariant: c.lits.(1) = false_lit. *)
+      if value_lit t c.lits.(0) = 1 then begin
+        (* Clause satisfied: keep the watch. *)
+        Vec.set ws !j c;
+        incr j
+      end
+      else begin
+        (* Look for a new literal to watch. *)
+        let len = Array.length c.lits in
+        let rec find k =
+          if k >= len then None
+          else if value_lit t c.lits.(k) <> 0 then Some k
+          else find (k + 1)
+        in
+        match find 2 with
+        | Some k ->
+          c.lits.(1) <- c.lits.(k);
+          c.lits.(k) <- false_lit;
+          Vec.push t.watches.(Lit.negate c.lits.(1)) c
+        | None ->
+          (* Unit or conflicting. *)
+          Vec.set ws !j c;
+          incr j;
+          if not (enqueue t c.lits.(0) c) then begin
+            conflict := Some c;
+            t.qhead <- Vec.size t.trail;
+            (* Copy the remaining watchers back. *)
+            while !i < n do
+              Vec.set ws !j (Vec.get ws !i);
+              incr i;
+              incr j
+            done
+          end
+      end
+    done;
+    Vec.shrink ws !j
+  done;
+  !conflict
+
+(* --- conflict analysis ------------------------------------------------ *)
+
+(* A learnt-tail literal is redundant if it is implied by literals already
+   in the clause: its reason's literals are all seen or fixed at level 0
+   (local minimization). *)
+let literal_redundant t q =
+  let r = Vec.get t.reason (Lit.var q) in
+  if r == dummy_clause then false
+  else begin
+    let ok = ref true in
+    for k = 1 to Array.length r.lits - 1 do
+      let vr = Lit.var r.lits.(k) in
+      if not (Vec.get t.seen vr) && Vec.get t.level vr > 0 then ok := false
+    done;
+    !ok
+  end
+
+let analyze t confl =
+  let learnt = Vec.create ~dummy:(-1) in
+  Vec.push learnt (-1) (* slot for the asserting literal *);
+  let path_count = ref 0 in
+  let p = ref (-1) in
+  let index = ref (Vec.size t.trail - 1) in
+  let c = ref confl in
+  let to_clear = ref [] in
+  let continue = ref true in
+  while !continue do
+    if !c.learnt then cla_bump t !c;
+    let start = if !p = -1 then 0 else 1 in
+    for k = start to Array.length !c.lits - 1 do
+      let q = !c.lits.(k) in
+      let v = Lit.var q in
+      if (not (Vec.get t.seen v)) && Vec.get t.level v > 0 then begin
+        Vec.set t.seen v true;
+        to_clear := v :: !to_clear;
+        var_bump t v;
+        if Vec.get t.level v >= decision_level t then incr path_count
+        else Vec.push learnt q
+      end
+    done;
+    (* Next clause to resolve with: walk the trail backwards. *)
+    while not (Vec.get t.seen (Lit.var (Vec.get t.trail !index))) do
+      decr index
+    done;
+    p := Vec.get t.trail !index;
+    decr index;
+    c := Vec.get t.reason (Lit.var !p);
+    Vec.set t.seen (Lit.var !p) false;
+    decr path_count;
+    if !path_count <= 0 then continue := false
+  done;
+  Vec.set learnt 0 (Lit.negate !p);
+  (* Conflict-clause minimization. *)
+  let kept = Vec.create ~dummy:(-1) in
+  Vec.push kept (Vec.get learnt 0);
+  for k = 1 to Vec.size learnt - 1 do
+    let q = Vec.get learnt k in
+    if literal_redundant t q then t.n_minimized <- t.n_minimized + 1
+    else Vec.push kept q
+  done;
+  (* Backtrack level = max level among tail literals; move that literal to
+     position 1 so it is watched. *)
+  let bt_level = ref 0 in
+  if Vec.size kept > 1 then begin
+    let max_i = ref 1 in
+    for k = 1 to Vec.size kept - 1 do
+      if Vec.get t.level (Lit.var (Vec.get kept k))
+         > Vec.get t.level (Lit.var (Vec.get kept !max_i))
+      then max_i := k
+    done;
+    let tmp = Vec.get kept 1 in
+    Vec.set kept 1 (Vec.get kept !max_i);
+    Vec.set kept !max_i tmp;
+    bt_level := Vec.get t.level (Lit.var (Vec.get kept 1))
+  end;
+  List.iter (fun v -> Vec.set t.seen v false) !to_clear;
+  (Vec.to_array kept, !bt_level)
+
+let record_learnt t lits =
+  t.n_learnt <- t.n_learnt + 1;
+  if Array.length lits = 1 then begin
+    cancel_until t 0;
+    ignore (enqueue t lits.(0) dummy_clause)
+  end
+  else begin
+    let c = { lits; act = 0.0; learnt = true } in
+    Vec.push t.learnts c;
+    attach t c;
+    cla_bump t c;
+    ignore (enqueue t lits.(0) c)
+  end
+
+(* --- learnt-clause DB reduction --------------------------------------- *)
+
+let locked t c =
+  Array.length c.lits > 0
+  && Vec.get t.reason (Lit.var c.lits.(0)) == c
+  && value_lit t c.lits.(0) = 1
+
+let reduce_db t =
+  let arr = Vec.to_array t.learnts in
+  Array.sort (fun a b -> compare a.act b.act) arr;
+  let n = Array.length arr in
+  let lim = t.cla_inc /. float_of_int (max n 1) in
+  Vec.clear t.learnts;
+  Array.iteri
+    (fun i c ->
+      let doomed =
+        Array.length c.lits > 2 && (not (locked t c)) && (i < n / 2 || c.act < lim)
+      in
+      if doomed then begin
+        detach t c;
+        t.n_deleted <- t.n_deleted + 1
+      end
+      else Vec.push t.learnts c)
+    arr
+
+(* --- adding clauses ---------------------------------------------------- *)
+
+let add_clause t lits =
+  cancel_until t 0;
+  if not t.ok then false
+  else begin
+    List.iter (fun l -> ensure_vars t (Lit.var l + 1)) lits;
+    (* Sort, dedupe, drop root-false literals, detect tautology /
+       root-satisfied clauses. *)
+    let lits = List.sort_uniq compare lits in
+    let tautology =
+      List.exists (fun l -> List.mem (Lit.negate l) lits) lits
+      || List.exists (fun l -> value_lit t l = 1) lits
+    in
+    if tautology then true
+    else begin
+      let lits = List.filter (fun l -> value_lit t l <> 0) lits in
+      match lits with
+      | [] ->
+        t.ok <- false;
+        false
+      | [ l ] ->
+        ignore (enqueue t l dummy_clause);
+        (match propagate t with
+        | Some _ ->
+          t.ok <- false;
+          false
+        | None -> true)
+      | _ ->
+        let c = { lits = Array.of_list lits; act = 0.0; learnt = false } in
+        Vec.push t.clauses c;
+        attach t c;
+        true
+    end
+  end
+
+let load t cnf =
+  ensure_vars t cnf.Cnf.nvars;
+  List.fold_left
+    (fun ok c -> add_clause t (Array.to_list c) && ok)
+    true
+    (List.rev cnf.Cnf.clauses)
+
+(* --- search ------------------------------------------------------------ *)
+
+let pick_branch_var t =
+  let rec loop () =
+    if Iheap.is_empty t.order then None
+    else begin
+      let v = Iheap.remove_max t.order in
+      if value_var t v = v_undef then Some v else loop ()
+    end
+  in
+  loop ()
+
+(* Which assumption literals force [p] false: walk the implication graph
+   from ¬p back to the assumption decisions (MiniSat's analyzeFinal). *)
+let analyze_final t p =
+  let core = ref [ p ] in
+  let v0 = Lit.var p in
+  if Vec.get t.level v0 > 0 then begin
+    Vec.set t.seen v0 true;
+    let cleared = ref [ v0 ] in
+    let start =
+      if Vec.size t.trail_lim = 0 then 0 else Vec.get t.trail_lim 0
+    in
+    for i = Vec.size t.trail - 1 downto start do
+      let x = Lit.var (Vec.get t.trail i) in
+      if Vec.get t.seen x then begin
+        let r = Vec.get t.reason x in
+        if r == dummy_clause then
+          (* a decision here is necessarily an assumption (this analysis
+             only runs while assumptions alone are decided); the trail
+             literal is the assumption itself *)
+          (if x <> v0 then core := Vec.get t.trail i :: !core)
+        else
+          Array.iteri
+            (fun k q ->
+              if k > 0 && Vec.get t.level (Lit.var q) > 0
+                 && not (Vec.get t.seen (Lit.var q))
+              then begin
+                Vec.set t.seen (Lit.var q) true;
+                cleared := Lit.var q :: !cleared
+              end)
+            r.lits;
+        Vec.set t.seen x false
+      end
+    done;
+    List.iter (fun v -> Vec.set t.seen v false) !cleared
+  end;
+  !core
+
+type search_outcome = S_sat | S_unsat | S_restart
+
+let capture_model t =
+  t.model_arr <- Array.init (nvars t) (fun v -> value_var t v = 1);
+  t.have_model <- true
+
+(* One restart-bounded CDCL episode under [assumptions]. *)
+let search t assumptions budget =
+  let n_assumps = Array.length assumptions in
+  let conflicts = ref 0 in
+  let outcome = ref None in
+  while !outcome = None do
+    match propagate t with
+    | Some confl ->
+      incr conflicts;
+      t.n_conflicts <- t.n_conflicts + 1;
+      if decision_level t = 0 then begin
+        t.ok <- false;
+        t.conflict_core <- [];
+        outcome := Some S_unsat
+      end
+      else begin
+        let lits, bt_level = analyze t confl in
+        cancel_until t bt_level;
+        record_learnt t lits;
+        var_decay_activity t;
+        cla_decay_activity t
+      end
+    | None ->
+      if !conflicts >= budget then begin
+        cancel_until t 0;
+        t.n_restarts <- t.n_restarts + 1;
+        outcome := Some S_restart
+      end
+      else begin
+        if float_of_int (Vec.size t.learnts - Vec.size t.trail) >= t.max_learnts
+        then reduce_db t;
+        if decision_level t < n_assumps then begin
+          (* Re-decide the next assumption. *)
+          let p = assumptions.(decision_level t) in
+          match value_lit t p with
+          | 1 -> new_decision_level t
+          | 0 ->
+            t.conflict_core <- analyze_final t p;
+            outcome := Some S_unsat
+          | _ ->
+            new_decision_level t;
+            ignore (enqueue t p dummy_clause)
+        end
+        else begin
+          match pick_branch_var t with
+          | None ->
+            capture_model t;
+            outcome := Some S_sat
+          | Some v ->
+            t.n_decisions <- t.n_decisions + 1;
+            new_decision_level t;
+            ignore (enqueue t (Lit.make v (Vec.get t.phase v)) dummy_clause)
+        end
+      end
+  done;
+  match !outcome with Some o -> o | None -> assert false
+
+let solve ?(assumptions = []) t =
+  t.n_solve_calls <- t.n_solve_calls + 1;
+  t.have_model <- false;
+  t.conflict_core <- [];
+  if not t.ok then Unsat
+  else begin
+    let assumptions = Array.of_list assumptions in
+    Array.iter (fun l -> ensure_vars t (Lit.var l + 1)) assumptions;
+    t.max_learnts <-
+      max t.max_learnts (float_of_int (Vec.size t.clauses) /. 3.0);
+    let rec loop attempt =
+      match search t assumptions (restart_base * Luby.luby attempt) with
+      | S_sat ->
+        cancel_until t 0;
+        Sat
+      | S_unsat ->
+        cancel_until t 0;
+        Unsat
+      | S_restart ->
+        t.max_learnts <- t.max_learnts *. 1.1;
+        loop (attempt + 1)
+    in
+    loop 1
+  end
+
+let model_value t v =
+  if not t.have_model then invalid_arg "Solver.model_value: no model";
+  if v < 0 || v >= Array.length t.model_arr then
+    invalid_arg "Solver.model_value: unknown variable";
+  t.model_arr.(v)
+
+let model t =
+  if not t.have_model then invalid_arg "Solver.model: no model";
+  Array.copy t.model_arr
+
+let root_value t v =
+  if v < nvars t && Vec.get t.level v = 0 then
+    match value_var t v with 1 -> Some true | 0 -> Some false | _ -> None
+  else None
+
+let unsat_core t = t.conflict_core

@@ -1,0 +1,74 @@
+(** CDCL SAT solver.
+
+    A conflict-driven clause-learning solver in the post-GRASP/Chaff
+    architecture: two-watched-literal propagation, first-UIP conflict
+    analysis with clause minimization, VSIDS variable activities, phase
+    saving, Luby restarts, and activity-based learnt-clause deletion.
+
+    The solver is {e incremental}: clauses may be added between [solve]
+    calls (each [add_clause] first backtracks to decision level 0), and
+    [solve] accepts assumptions — literals treated as pseudo-decisions
+    below all real decisions — which is how the all-solutions engines
+    probe satisfiability of partial assignments while keeping every
+    learnt clause. *)
+
+type t
+
+type result = Sat | Unsat
+
+val create : unit -> t
+
+(** [new_var t] allocates a fresh variable and returns it. *)
+val new_var : t -> Lit.var
+
+(** [nvars t] is the number of allocated variables. *)
+val nvars : t -> int
+
+(** [ensure_vars t n] allocates variables until [nvars t >= n]. *)
+val ensure_vars : t -> int -> unit
+
+(** [add_clause t lits] adds a clause over existing variables. The solver
+    backtracks to level 0 first; tautologies are dropped, duplicate and
+    root-level-false literals removed. Returns [false] iff the clause
+    makes the formula trivially unsatisfiable at the root (the solver is
+    then permanently unsat). *)
+val add_clause : t -> Lit.t list -> bool
+
+(** [load t cnf] allocates [cnf]'s variables and adds all its clauses. *)
+val load : t -> Cnf.t -> bool
+
+(** [solve ?assumptions t] decides satisfiability of the clause set under
+    the given assumption literals. Learnt clauses persist across calls. *)
+val solve : ?assumptions:Lit.t list -> t -> result
+
+(** [model_value t v] is the value of [v] in the satisfying assignment
+    found by the last [solve] call that returned [Sat].
+    Raises [Invalid_argument] if the last call did not return [Sat]. *)
+val model_value : t -> Lit.var -> bool
+
+(** [model t] is the full satisfying assignment of the last [Sat] answer. *)
+val model : t -> bool array
+
+(** [okay t] is [false] once the clause set is unsatisfiable at the root. *)
+val okay : t -> bool
+
+(** Root-level value of a variable, if it is fixed by unit propagation at
+    decision level 0. *)
+val root_value : t -> Lit.var -> bool option
+
+(** Solver statistics: ["conflicts"], ["decisions"], ["propagations"],
+    ["restarts"], ["learnt"], ["deleted"], ["solve_calls"],
+    ["minimized_lits"]. *)
+val stats : t -> Ps_util.Stats.t
+
+(** [n_clauses t] is the number of live problem clauses (excluding learnt). *)
+val n_clauses : t -> int
+
+(** [n_learnts t] is the number of live learnt clauses. *)
+val n_learnts : t -> int
+
+(** [unsat_core t] — after [solve ~assumptions] returned [Unsat]: a
+    subset of the assumptions that already makes the clauses
+    unsatisfiable (not necessarily minimal; empty when the clause set is
+    unsatisfiable on its own). *)
+val unsat_core : t -> Lit.t list

@@ -1,0 +1,1 @@
+lib/util/iheap.ml: List Vec

@@ -1,0 +1,1 @@
+lib/util/stats.ml: Format Fun Hashtbl List Stdlib String Unix

@@ -1,0 +1,70 @@
+type t = {
+  heap : int Vec.t;            (* heap.(i) = element at heap position i *)
+  pos : int Vec.t;             (* pos.(x) = position of x in heap, -1 if absent *)
+  score : int -> float;
+}
+
+let create ~score = { heap = Vec.create ~dummy:(-1); pos = Vec.create ~dummy:(-1); score }
+
+let size h = Vec.size h.heap
+
+let is_empty h = size h = 0
+
+let mem h x = x < Vec.size h.pos && Vec.get h.pos x >= 0
+
+let lt h a b = h.score a > h.score b (* max-heap: "less" = closer to root *)
+
+let swap h i j =
+  let a = Vec.get h.heap i and b = Vec.get h.heap j in
+  Vec.set h.heap i b;
+  Vec.set h.heap j a;
+  Vec.set h.pos a j;
+  Vec.set h.pos b i
+
+let rec percolate_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if lt h (Vec.get h.heap i) (Vec.get h.heap parent) then begin
+      swap h i parent;
+      percolate_up h parent
+    end
+  end
+
+let rec percolate_down h i =
+  let n = size h in
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let best = ref i in
+  if l < n && lt h (Vec.get h.heap l) (Vec.get h.heap !best) then best := l;
+  if r < n && lt h (Vec.get h.heap r) (Vec.get h.heap !best) then best := r;
+  if !best <> i then begin
+    swap h i !best;
+    percolate_down h !best
+  end
+
+let insert h x =
+  if not (mem h x) then begin
+    Vec.grow_to h.pos (x + 1) (-1);
+    Vec.set h.pos x (size h);
+    Vec.push h.heap x;
+    percolate_up h (size h - 1)
+  end
+
+let remove_max h =
+  if is_empty h then raise Not_found;
+  let top = Vec.get h.heap 0 in
+  let n = size h in
+  swap h 0 (n - 1);
+  ignore (Vec.pop h.heap);
+  Vec.set h.pos top (-1);
+  if size h > 0 then percolate_down h 0;
+  top
+
+let decrease h x = if mem h x then percolate_up h (Vec.get h.pos x)
+
+let clear h =
+  Vec.iter (fun x -> Vec.set h.pos x (-1)) h.heap;
+  Vec.clear h.heap
+
+let rebuild h xs =
+  clear h;
+  List.iter (insert h) xs

@@ -1,0 +1,35 @@
+(** Indexed binary max-heap over integer elements [0 .. n-1].
+
+    Elements are ordered by a caller-supplied score function read at
+    comparison time, so scores may change while an element is outside the
+    heap; for in-heap score increases call {!decrease} (named after the
+    MiniSat convention: the element moved {e up}). Used for VSIDS variable
+    ordering in the SAT solver. *)
+
+type t
+
+(** [create ~score] is an empty heap ordering elements by [score]
+    (greater score = higher priority). *)
+val create : score:(int -> float) -> t
+
+val size : t -> int
+val is_empty : t -> bool
+
+(** [mem h x] is [true] iff [x] is currently in the heap. *)
+val mem : t -> int -> bool
+
+(** [insert h x] inserts [x]; no-op if already present. *)
+val insert : t -> int -> unit
+
+(** [remove_max h] pops the element with the greatest score.
+    Raises [Not_found] when empty. *)
+val remove_max : t -> int
+
+(** [decrease h x] restores the heap property after [score x] increased
+    (the element percolates toward the root). No-op when [x] not in heap. *)
+val decrease : t -> int -> unit
+
+(** [rebuild h xs] clears the heap and inserts all of [xs]. *)
+val rebuild : t -> int list -> unit
+
+val clear : t -> unit

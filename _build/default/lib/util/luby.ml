@@ -1,0 +1,11 @@
+(* luby i: find the subsequence 2^k - 1 terms long that contains position i;
+   if i is its last position the value is 2^(k-1), otherwise recurse into the
+   prefix, which repeats the whole sequence for 2^(k-1) - 1 terms. *)
+let rec luby i =
+  if i < 1 then invalid_arg "Luby.luby: index must be >= 1";
+  (* smallest k with 2^k - 1 >= i *)
+  let rec find_k k sz = if sz >= i then (k, sz) else find_k (k + 1) ((2 * sz) + 1) in
+  let k, sz = find_k 1 1 in
+  if sz = i then 1 lsl (k - 1) else luby (i - ((sz - 1) / 2))
+
+let sequence n = List.init n (fun i -> luby (i + 1))

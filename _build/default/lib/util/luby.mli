@@ -1,0 +1,10 @@
+(** The Luby restart sequence 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+
+    Optimal universal restart strategy (Luby, Sinclair, Zuckerman 1993);
+    used to schedule SAT-solver restarts. *)
+
+(** [luby i] is the [i]-th term of the sequence, [i >= 1]. *)
+val luby : int -> int
+
+(** [sequence n] is the first [n] terms. *)
+val sequence : int -> int list

@@ -1,0 +1,42 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create ~seed = { state = Int64.of_int seed }
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be > 0";
+  (* Use the top bits, which are well mixed; modulo bias is negligible for
+     the small bounds used here. *)
+  let x = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
+  x mod bound
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let float t =
+  let x = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
+  x /. 9007199254740992.0 (* 2^53 *)
+
+let pick t xs =
+  match xs with
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | _ -> List.nth xs (int t (List.length xs))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let split t = { state = mix (bits64 t) }

@@ -1,0 +1,30 @@
+(** Deterministic pseudo-random numbers (SplitMix64).
+
+    Every stochastic component of the library (random circuit generation,
+    randomized targets, decision tie-breaking) draws from an explicit [Rng.t]
+    so runs are reproducible from a single integer seed. *)
+
+type t
+
+val create : seed:int -> t
+
+(** [int t bound] is uniform in [0, bound); [bound > 0]. *)
+val int : t -> int -> int
+
+(** [bool t] is a fair coin. *)
+val bool : t -> bool
+
+(** [float t] is uniform in [0, 1). *)
+val float : t -> float
+
+(** [bits64 t] is the next raw 64-bit output. *)
+val bits64 : t -> int64
+
+(** [pick t xs] is a uniformly chosen element of non-empty [xs]. *)
+val pick : t -> 'a list -> 'a
+
+(** [shuffle t a] permutes [a] in place (Fisher-Yates). *)
+val shuffle : t -> 'a array -> unit
+
+(** [split t] is an independent generator derived from [t]'s stream. *)
+val split : t -> t

@@ -1,0 +1,67 @@
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  timers : (string, float ref) Hashtbl.t;
+}
+
+let create () = { counters = Hashtbl.create 16; timers = Hashtbl.create 16 }
+
+let counter_ref t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r
+  | None ->
+    let r = ref 0 in
+    Hashtbl.add t.counters name r;
+    r
+
+let timer_ref t name =
+  match Hashtbl.find_opt t.timers name with
+  | Some r -> r
+  | None ->
+    let r = ref 0.0 in
+    Hashtbl.add t.timers name r;
+    r
+
+let incr t name = Stdlib.incr (counter_ref t name)
+
+let add t name n =
+  let r = counter_ref t name in
+  r := !r + n
+
+let set_max t name n =
+  let r = counter_ref t name in
+  if n > !r then r := n
+
+let get t name = match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+let time t name f =
+  let r = timer_ref t name in
+  let start = Unix.gettimeofday () in
+  Fun.protect ~finally:(fun () -> r := !r +. (Unix.gettimeofday () -. start)) f
+
+let timer t name = match Hashtbl.find_opt t.timers name with Some r -> !r | None -> 0.0
+
+let sorted_assoc tbl deref =
+  Hashtbl.fold (fun k v acc -> (k, deref v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let counters t = sorted_assoc t.counters (fun r -> !r)
+
+let timers t = sorted_assoc t.timers (fun r -> !r)
+
+let merge ~into src =
+  List.iter (fun (k, v) -> add into k v) (counters src);
+  List.iter
+    (fun (k, v) ->
+      let r = timer_ref into k in
+      r := !r +. v)
+    (timers src)
+
+let pp ppf t =
+  let pp_counter ppf (k, v) = Format.fprintf ppf "%s=%d" k v in
+  let pp_timer ppf (k, v) = Format.fprintf ppf "%s=%.3fs" k v in
+  Format.fprintf ppf "@[<hov 2>{%a%s%a}@]"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ") pp_counter)
+    (counters t)
+    (if counters t <> [] && timers t <> [] then "; " else "")
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ") pp_timer)
+    (timers t)

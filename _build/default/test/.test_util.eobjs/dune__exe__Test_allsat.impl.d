@@ -1,0 +1,1 @@
+test/test_allsat.ml: Alcotest Array Fun Hashtbl Helpers List Printf Ps_allsat Ps_bdd Ps_circuit Ps_gen Ps_sat Ps_util QCheck String

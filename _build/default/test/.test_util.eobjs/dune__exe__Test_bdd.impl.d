@@ -1,0 +1,1 @@
+test/test_bdd.ml: Alcotest Array Fun Helpers List Ps_bdd Ps_util QCheck

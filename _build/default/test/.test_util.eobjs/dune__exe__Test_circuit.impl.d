@@ -1,0 +1,1 @@
+test/test_circuit.ml: Alcotest Array Helpers Lazy List Printf Ps_circuit Ps_gen Ps_sat Ps_util QCheck

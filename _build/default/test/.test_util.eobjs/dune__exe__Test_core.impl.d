@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Hashtbl Helpers Lazy List Preimage Ps_allsat Ps_circuit Ps_gen Ps_util QCheck Queue

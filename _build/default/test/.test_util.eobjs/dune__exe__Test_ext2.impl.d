@@ -1,0 +1,1 @@
+test/test_ext2.ml: Alcotest Array Format Helpers List Preimage Printf Ps_allsat Ps_bdd Ps_circuit Ps_gen Ps_sat Ps_util QCheck

@@ -1,0 +1,1 @@
+test/test_ext2.mli:

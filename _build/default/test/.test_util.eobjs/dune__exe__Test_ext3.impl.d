@@ -1,0 +1,1 @@
+test/test_ext3.ml: Alcotest Array Hashtbl Helpers List Option Preimage Ps_circuit Ps_gen Ps_util QCheck Queue String

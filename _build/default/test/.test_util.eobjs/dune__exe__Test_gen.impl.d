@@ -1,0 +1,1 @@
+test/test_gen.ml: Alcotest Array Fun Hashtbl Lazy List Preimage Printf Ps_allsat Ps_bdd Ps_circuit Ps_gen Ps_util

@@ -1,0 +1,1 @@
+test/test_sat.ml: Alcotest Array Format Helpers List Printf Ps_sat Ps_util QCheck

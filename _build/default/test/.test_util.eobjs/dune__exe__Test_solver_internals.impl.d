@@ -1,0 +1,1 @@
+test/test_solver_internals.ml: Alcotest Array Hashtbl Helpers List Ps_sat Ps_util QCheck

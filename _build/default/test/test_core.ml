@@ -1,0 +1,364 @@
+(* Tests for the preimage core: instance construction, the four SAT
+   engines, the BDD baseline, the cross-check oracles, and backward
+   reachability — validated against exhaustive simulation. *)
+
+module I = Preimage.Instance
+module E = Preimage.Engine
+module BE = Preimage.Bdd_engine
+module Ch = Preimage.Check
+module Rh = Preimage.Reach
+module N = Ps_circuit.Netlist
+module Cube = Ps_allsat.Cube
+module Sg = Ps_allsat.Solution_graph
+module T = Ps_gen.Targets
+module R = Ps_util.Rng
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 0.0))
+
+(* --- Instance ----------------------------------------------------------- *)
+
+let test_instance_validation () =
+  let c = Ps_gen.Counters.binary ~bits:3 () in
+  (try
+     ignore (I.make c [ Cube.of_string "1-" ]);
+     Alcotest.fail "expected width-mismatch failure"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (I.make c []);
+     Alcotest.fail "expected empty-target failure"
+   with Invalid_argument _ -> ());
+  (* combinational circuit: no latches *)
+  let b = Ps_circuit.Builder.create () in
+  let x = Ps_circuit.Builder.input b "x" in
+  Ps_circuit.Builder.output b (Ps_circuit.Builder.not_ b x);
+  let comb = Ps_circuit.Builder.finalize b in
+  (try
+     ignore (I.make comb [ Cube.make 0 ]);
+     Alcotest.fail "expected no-latches failure"
+   with Invalid_argument _ -> ())
+
+let test_instance_structure () =
+  let c = Ps_gen.Counters.binary ~bits:3 () in
+  let inst = I.make c (T.all_ones ~bits:3) in
+  check_int "projection width = state bits" 3
+    (Ps_allsat.Project.width inst.I.proj);
+  check_int "num_state" 3 (I.num_state inst);
+  check_bool "augmented has more gates" true
+    (N.num_gates inst.I.augmented > N.num_gates c);
+  check_bool "root is a gate" true
+    (match N.driver inst.I.augmented inst.I.root with
+    | N.Gate _ -> true
+    | N.Input | N.Latch _ -> false);
+  check_bool "target_holds" true (I.target_holds inst [| true; true; true |]);
+  check_bool "target_holds neg" false (I.target_holds inst [| true; false; true |]);
+  (* with inputs: projection covers states then inputs *)
+  let inst2 = I.make ~include_inputs:true c (T.all_ones ~bits:3) in
+  check_int "projection with inputs" 4 (Ps_allsat.Project.width inst2.I.proj)
+
+let test_instance_multi_cube_target () =
+  let c = Ps_gen.Counters.binary ~bits:3 () in
+  let inst = I.make c (T.of_strings [ "111"; "000" ]) in
+  check_bool "cube 1" true (I.target_holds inst [| true; true; true |]);
+  check_bool "cube 2" true (I.target_holds inst [| false; false; false |]);
+  check_bool "neither" false (I.target_holds inst [| true; false; false |]);
+  (* engines still agree *)
+  let results = List.map (fun m -> E.run m inst) E.all_methods in
+  match Ch.engines_agree inst results with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e
+
+(* --- Engines ------------------------------------------------------------- *)
+
+let engines_agree_on_suite () =
+  List.iter
+    (fun entry ->
+      let c = Lazy.force entry.Ps_gen.Suite.circuit in
+      let nstate = List.length (N.latches c) in
+      let ninputs = List.length (N.inputs c) in
+      if nstate + ninputs <= 14 then begin
+        let rng = R.create ~seed:7 in
+        let targets =
+          [ Ps_gen.Suite.default_target entry; Ps_gen.Suite.tight_target entry ]
+          @ [ T.random ~bits:nstate ~ncubes:2 ~density:0.4 rng ]
+        in
+        List.iter
+          (fun target ->
+            let inst = I.make c target in
+            let results = List.map (fun m -> E.run m inst) E.all_methods in
+            (match Ch.engines_agree inst results with
+            | Ok _ -> ()
+            | Error e ->
+              Alcotest.fail (entry.Ps_gen.Suite.name ^ ": " ^ e));
+            List.iter
+              (fun r ->
+                if not (Ch.matches_brute_force inst r) then
+                  Alcotest.fail
+                    (entry.Ps_gen.Suite.name ^ "/" ^ E.method_name r.E.method_
+                   ^ ": brute-force mismatch"))
+              results)
+          targets
+      end)
+    Ps_gen.Suite.small
+
+let engines_agree_random =
+  Helpers.qtest "engines agree on random sequential circuits" ~count:40
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = R.create ~seed in
+      let c =
+        Helpers.random_seq rng ~nin:(1 + R.int rng 3) ~nlatches:(2 + R.int rng 4)
+          ~ngates:(3 + R.int rng 20)
+      in
+      let nstate = List.length (N.latches c) in
+      let target = T.random ~bits:nstate ~ncubes:(1 + R.int rng 2) ~density:0.5 rng in
+      let inst = I.make c target in
+      let results = List.map (fun m -> E.run m inst) E.all_methods in
+      (match Ch.engines_agree inst results with Ok _ -> true | Error _ -> false)
+      && List.for_all (fun r -> Ch.matches_brute_force inst r) results)
+
+let engines_agree_with_inputs =
+  Helpers.qtest "engines agree when projecting over states and inputs" ~count:25
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = R.create ~seed in
+      let c =
+        Helpers.random_seq rng ~nin:(1 + R.int rng 2) ~nlatches:(2 + R.int rng 3)
+          ~ngates:(3 + R.int rng 12)
+      in
+      let nstate = List.length (N.latches c) in
+      let target = T.random ~bits:nstate ~ncubes:1 ~density:0.6 rng in
+      let inst = I.make ~include_inputs:true c target in
+      let results = List.map (fun m -> E.run m inst) E.all_methods in
+      match Ch.engines_agree inst results with Ok _ -> true | Error _ -> false)
+
+let test_engine_limit () =
+  let c = Ps_gen.Counters.binary ~bits:6 () in
+  (* loose target: many solutions *)
+  let inst = I.make c (T.upper_half ~bits:6) in
+  let r = E.run ~limit:3 E.Blocking inst in
+  check_int "limited cubes" 3 r.E.n_cubes;
+  check_bool "incomplete" false r.E.complete;
+  (* SDS ignores the limit and completes *)
+  let r2 = E.run ~limit:3 E.Sds inst in
+  check_bool "sds complete" true r2.E.complete
+
+let test_solution_count_of_cubes () =
+  (* overlapping cubes: 1-- and -1- over width 3: |union| = 4+4-2 = 6 *)
+  check_float "overlap resolved" 6.0
+    (E.solution_count_of_cubes 3 [ Cube.of_string "1--"; Cube.of_string "-1-" ]);
+  check_float "empty" 0.0 (E.solution_count_of_cubes 3 []);
+  check_float "full" 8.0 (E.solution_count_of_cubes 3 [ Cube.make 3 ])
+
+let test_sds_stats_shape () =
+  let c = Ps_gen.Counters.binary ~bits:5 () in
+  let inst = I.make c (T.upper_half ~bits:5) in
+  let r = E.run E.Sds inst in
+  let get k = Ps_util.Stats.get r.E.stats k in
+  check_bool "search nodes" true (get "search_nodes" > 0);
+  check_bool "graph nodes recorded" true (get "graph_nodes" > 0);
+  check_bool "graph present" true (r.E.graph <> None);
+  check_bool "graph nodes consistent" true
+    (match (r.E.graph, r.E.graph_nodes) with
+    | Some g, Some n -> Sg.size g = n
+    | _ -> false)
+
+let orders_preserve_solutions =
+  Helpers.qtest "projection orders change the search, not the solutions" ~count:25
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = R.create ~seed in
+      let c =
+        Helpers.random_seq rng ~nin:(1 + R.int rng 2) ~nlatches:(2 + R.int rng 4)
+          ~ngates:(3 + R.int rng 15)
+      in
+      let nstate = List.length (N.latches c) in
+      let target = T.random ~bits:nstate ~ncubes:1 ~density:0.5 rng in
+      List.for_all
+        (fun order ->
+          let inst = I.make ~order c target in
+          let results = List.map (fun m -> E.run m inst) E.all_methods in
+          (match Ch.engines_agree inst results with
+          | Ok _ -> true
+          | Error _ -> false)
+          && List.for_all (fun r -> Ch.matches_brute_force inst r) results)
+        [ I.Natural; I.Cone_first; I.Reverse ])
+
+(* --- BDD engine ------------------------------------------------------------ *)
+
+let test_bdd_engine_counts () =
+  let c = Ps_gen.Counters.binary ~bits:6 () in
+  let inst = I.make c (T.upper_half ~bits:6) in
+  let r_sat = E.run E.Sds inst in
+  let r_bdd = BE.run inst in
+  check_float "bdd count = sds count" r_sat.E.solutions
+    (BE.count r_bdd ~nstate:6);
+  (* variable orders agree on the set *)
+  let r_inter = BE.run ~order:BE.Interleaved inst in
+  check_float "interleaved count" r_sat.E.solutions (BE.count r_inter ~nstate:6);
+  check_bool "nodes allocated" true (r_bdd.BE.nodes_allocated > 0);
+  check_bool "preimage size sane" true (r_bdd.BE.preimage_size >= 1)
+
+let test_bdd_engine_include_inputs () =
+  let c = Ps_gen.Counters.binary ~bits:4 () in
+  let inst = I.make ~include_inputs:true c (T.all_ones ~bits:4) in
+  let r_block = E.run E.Blocking inst in
+  let r_bdd = BE.run inst in
+  (* count over states+inputs: 5 projection vars *)
+  check_float "pair count" r_block.E.solutions (BE.count r_bdd ~nstate:5)
+
+(* --- Check ------------------------------------------------------------------ *)
+
+let test_check_detects_corruption () =
+  let c = Ps_gen.Counters.binary ~bits:3 () in
+  let inst = I.make c (T.all_ones ~bits:3) in
+  let good = E.run E.Blocking inst in
+  (* corrupt the result by dropping a cube *)
+  let bad =
+    match good.E.cubes with
+    | _ :: rest -> { good with E.cubes = rest }
+    | [] -> Alcotest.fail "expected non-empty preimage"
+  in
+  (match Ch.engines_agree inst [ good; bad ] with
+  | Ok _ -> Alcotest.fail "corruption not detected"
+  | Error _ -> ());
+  check_bool "brute force catches it too" false (Ch.matches_brute_force inst bad)
+
+let test_brute_force_preimage_small () =
+  (* 2-bit counter, target = state 3; preimage = {2 with en, 3 with !en} *)
+  let c = Ps_gen.Counters.binary ~bits:2 () in
+  let pre = Ch.brute_force_preimage c (T.value ~bits:2 3) in
+  Alcotest.(check (array bool)) "preimage" [| false; false; true; true |] pre
+
+(* --- Reach -------------------------------------------------------------------- *)
+
+let test_reach_counter_full () =
+  (* enabled counter eventually reaches all-ones from any state *)
+  let c = Ps_gen.Counters.binary ~bits:4 () in
+  List.iter
+    (fun engine ->
+      let r = Rh.backward ~engine c (T.all_ones ~bits:4) in
+      check_float
+        (Rh.engine_name engine ^ " reaches the full space")
+        16.0 r.Rh.total_states;
+      check_bool "fixpoint" true r.Rh.fixpoint)
+    [ Rh.E_sds; Rh.E_sds_dynamic; Rh.E_blocking_lift; Rh.E_bdd ]
+
+let test_reach_max_steps () =
+  let c = Ps_gen.Counters.binary ~bits:4 () in
+  let r = Rh.backward ~max_steps:2 c (T.all_ones ~bits:4) in
+  check_bool "not a fixpoint" false r.Rh.fixpoint;
+  check_int "two steps" 2 (List.length r.Rh.steps)
+
+let test_reach_closed_target () =
+  (* Johnson counter: the all-zero state maps to 1000...; target
+     containing every state is closed immediately. *)
+  let c = Ps_gen.Counters.johnson ~bits:4 () in
+  let full = [ Cube.make 4 ] in
+  let r = Rh.backward c full in
+  check_bool "fixpoint" true r.Rh.fixpoint;
+  check_float "everything" 16.0 r.Rh.total_states;
+  (* one step discovers nothing new *)
+  check_int "steps" 1 (List.length r.Rh.steps)
+
+let reach_engines_agree =
+  Helpers.qtest "reach engines compute identical fixpoints" ~count:15
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = R.create ~seed in
+      let c =
+        Helpers.random_seq rng ~nin:(1 + R.int rng 2) ~nlatches:(2 + R.int rng 3)
+          ~ngates:(3 + R.int rng 12)
+      in
+      let nstate = List.length (N.latches c) in
+      let target = T.random ~bits:nstate ~ncubes:1 ~density:0.7 rng in
+      let r1 = Rh.backward ~engine:Rh.E_sds c target in
+      let r2 = Rh.backward ~engine:Rh.E_bdd c target in
+      let r3 = Rh.backward ~engine:Rh.E_blocking_lift c target in
+      let r4 = Rh.backward ~engine:Rh.E_sds_dynamic c target in
+      let same_pointwise a b =
+        let ok = ref true in
+        Helpers.iter_assignments nstate (fun bits ->
+            let bits = Array.sub bits 0 nstate in
+            if Rh.mem a bits <> Rh.mem b bits then ok := false);
+        !ok
+      in
+      r1.Rh.total_states = r2.Rh.total_states
+      && r2.Rh.total_states = r3.Rh.total_states
+      && r3.Rh.total_states = r4.Rh.total_states
+      && same_pointwise r1 r2 && same_pointwise r2 r3 && same_pointwise r3 r4)
+
+let test_reach_membership_vs_simulation () =
+  (* Forward simulation confirms backward reachability: any state in the
+     reached set can actually reach the target by some input sequence
+     within |steps| cycles. Check on the traffic controller. *)
+  let c = Ps_gen.Fsm.traffic () in
+  let target = T.of_strings [ "0111" ] in
+  let r = Rh.backward c target in
+  let depth = List.length r.Rh.steps in
+  let nstate = 4 in
+  (* BFS forward over (state) with all 4 input combinations *)
+  let can_reach s0 =
+    let seen = Hashtbl.create 64 in
+    let q = Queue.create () in
+    Queue.add (s0, 0) q;
+    let found = ref false in
+    while not (Queue.is_empty q) do
+      let s, d = Queue.pop q in
+      if T.mem target s then found := true
+      else if d < depth && not (Hashtbl.mem seen (Array.to_list s)) then begin
+        Hashtbl.add seen (Array.to_list s) ();
+        for code = 0 to 3 do
+          let inputs = [| code land 1 = 1; code land 2 = 2 |] in
+          let _, next = Ps_circuit.Sim.step c ~inputs ~state:s in
+          Queue.add (next, d + 1) q
+        done
+      end
+    done;
+    !found
+  in
+  Helpers.iter_assignments nstate (fun bits ->
+      let s = Array.sub bits 0 nstate in
+      if Rh.mem r s <> can_reach s then
+        Alcotest.fail "reach set disagrees with forward simulation")
+
+let () =
+  Alcotest.run "preimage_core"
+    [
+      ( "instance",
+        [
+          Alcotest.test_case "validation" `Quick test_instance_validation;
+          Alcotest.test_case "structure" `Quick test_instance_structure;
+          Alcotest.test_case "multi-cube target" `Quick test_instance_multi_cube_target;
+        ] );
+      ( "engines",
+        [
+          Alcotest.test_case "suite cross-check" `Slow engines_agree_on_suite;
+          engines_agree_random;
+          engines_agree_with_inputs;
+          orders_preserve_solutions;
+          Alcotest.test_case "cube limit" `Quick test_engine_limit;
+          Alcotest.test_case "union counting" `Quick test_solution_count_of_cubes;
+          Alcotest.test_case "sds stats shape" `Quick test_sds_stats_shape;
+        ] );
+      ( "bdd_engine",
+        [
+          Alcotest.test_case "counts" `Quick test_bdd_engine_counts;
+          Alcotest.test_case "include inputs" `Quick test_bdd_engine_include_inputs;
+        ] );
+      ( "check",
+        [
+          Alcotest.test_case "detects corruption" `Quick test_check_detects_corruption;
+          Alcotest.test_case "brute-force reference" `Quick test_brute_force_preimage_small;
+        ] );
+      ( "reach",
+        [
+          Alcotest.test_case "counter reaches all" `Quick test_reach_counter_full;
+          Alcotest.test_case "max steps" `Quick test_reach_max_steps;
+          Alcotest.test_case "closed target" `Quick test_reach_closed_target;
+          reach_engines_agree;
+          Alcotest.test_case "agrees with forward simulation" `Slow
+            test_reach_membership_vs_simulation;
+        ] );
+    ]

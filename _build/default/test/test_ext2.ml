@@ -1,0 +1,464 @@
+(* Tests for the second extension wave: the expression front end,
+   stuck-at-fault machinery, bounded model checking, netlist
+   optimization, CNF preprocessing and solver unsat cores. *)
+
+module Expr = Ps_circuit.Expr
+module F = Ps_circuit.Faults
+module Opt = Ps_circuit.Opt
+module N = Ps_circuit.Netlist
+module Sim = Ps_circuit.Sim
+module Simplify = Ps_sat.Simplify
+module Cnf = Ps_sat.Cnf
+module Lit = Ps_sat.Lit
+module Solver = Ps_sat.Solver
+module Bmc = Preimage.Bmc
+module Rh = Preimage.Reach
+module T = Ps_gen.Targets
+module R = Ps_util.Rng
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- Expr ------------------------------------------------------------------- *)
+
+let test_expr_parse_eval () =
+  let e = Expr.parse "a & !(b ^ c) | 0" in
+  Alcotest.(check (list string)) "vars" [ "a"; "b"; "c" ] (Expr.vars e);
+  let env a b c = function
+    | "a" -> a
+    | "b" -> b
+    | "c" -> c
+    | _ -> raise Not_found
+  in
+  check_bool "a&!(b^c)" true (Expr.eval e (env true true true));
+  check_bool "b^c kills it" false (Expr.eval e (env true true false));
+  check_bool "!a kills it" false (Expr.eval e (env false true true))
+
+let test_expr_operators () =
+  let t cases text =
+    let e = Expr.parse text in
+    List.iter
+      (fun (a, b, expected) ->
+        let got = Expr.eval e (function "a" -> a | "b" -> b | _ -> raise Not_found) in
+        if got <> expected then
+          Alcotest.fail (Printf.sprintf "%s(%b,%b) = %b" text a b got))
+      cases
+  in
+  t [ (true, true, true); (true, false, false); (false, true, true); (false, false, true) ]
+    "a -> b";
+  t [ (true, true, true); (true, false, false); (false, true, false); (false, false, true) ]
+    "a <-> b";
+  t [ (true, true, false); (true, false, true); (false, true, true); (false, false, false) ]
+    "a ^ b";
+  (* precedence: & over |, | over ->, unary tightest *)
+  let e = Expr.parse "!a | a & a" in
+  check_bool "precedence" true
+    (Expr.eval e (function "a" -> false | _ -> raise Not_found))
+
+let test_expr_errors () =
+  let fails s =
+    match Expr.parse s with
+    | exception Failure _ -> ()
+    | _ -> Alcotest.fail ("expected parse failure on " ^ s)
+  in
+  fails "a &";
+  fails "(a";
+  fails "a b";
+  fails "";
+  fails "a $ b"
+
+let expr_netlist_matches_eval =
+  Helpers.qtest "Expr.to_netlist computes Expr.eval" ~count:100
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = R.create ~seed in
+      (* generate via Helpers.expr then print/parse roundtrip *)
+      let nvars = 1 + R.int rng 4 in
+      let he = Helpers.random_expr rng 4 nvars in
+      let rec to_expr = function
+        | Helpers.E_var v -> Expr.Var (Printf.sprintf "x%d" v)
+        | Helpers.E_not x -> Expr.Not (to_expr x)
+        | Helpers.E_and (x, y) -> Expr.And (to_expr x, to_expr y)
+        | Helpers.E_or (x, y) -> Expr.Or (to_expr x, to_expr y)
+        | Helpers.E_xor (x, y) -> Expr.Xor (to_expr x, to_expr y)
+      in
+      let e = to_expr he in
+      (* pp/parse roundtrip preserves semantics *)
+      let e2 = Expr.parse (Format.asprintf "%a" Expr.pp e) in
+      let n = Expr.to_netlist e in
+      let out = List.hd (N.outputs n) in
+      let ok = ref true in
+      Helpers.iter_leaf_assignments n (fun env _ ->
+          let lookup name = env.(N.find n name) in
+          let expected = Expr.eval e lookup in
+          if Expr.eval e2 lookup <> expected then ok := false;
+          if (Sim.eval n ~env).(out) <> expected then ok := false);
+      !ok)
+
+let test_targets_of_expr () =
+  let t = T.of_expr ~bits:3 ~names:[| "q0"; "q1"; "q2" |] "q2 & !q0" in
+  check_bool "110 in" true (T.mem t [| false; true; true |]);
+  check_bool "101 out" false (T.mem t [| true; false; true |]);
+  (try ignore (T.of_expr ~bits:3 ~names:[| "a"; "b"; "c" |] "zz");
+     Alcotest.fail "expected unknown-name failure"
+   with Invalid_argument _ -> ());
+  (try ignore (T.of_expr ~bits:2 ~names:[| "a"; "b" |] "a & !a");
+     Alcotest.fail "expected empty-set failure"
+   with Invalid_argument _ -> ())
+
+(* --- Faults ----------------------------------------------------------------- *)
+
+let test_fault_injection () =
+  let c = Ps_gen.Iscas.s27 () in
+  let g17 = N.find c "G17" in
+  let faulty = F.inject c { F.net = g17; stuck_at = true } in
+  check_int "same net count" (N.num_nets c) (N.num_nets faulty);
+  (* the faulted output is constantly 1 *)
+  let env = Array.make (N.num_nets faulty) false in
+  let values = Sim.eval faulty ~env in
+  check_bool "stuck at 1" true values.(g17);
+  (try ignore (F.inject c { F.net = 10_000; stuck_at = false });
+     Alcotest.fail "expected range failure"
+   with Invalid_argument _ -> ())
+
+let test_miter_self_unsat () =
+  (* miter of a circuit against itself is unsatisfiable *)
+  let c = Ps_gen.Iscas.s27 () in
+  let m, top = F.miter c c in
+  let cnf = Ps_circuit.Tseitin.encode m in
+  let s = Solver.create () in
+  ignore (Solver.load s cnf);
+  ignore (Solver.add_clause s [ Lit.pos top ]);
+  Alcotest.(check bool) "self-miter unsat" true (Solver.solve s = Solver.Unsat)
+
+let miter_agrees_with_detects =
+  Helpers.qtest "SAT on the fault miter iff some vector detects" ~count:40
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = R.create ~seed in
+      let c = Helpers.random_comb rng ~nin:(2 + R.int rng 3) ~ngates:(2 + R.int rng 8) in
+      let faults = F.all_faults c in
+      let fault = List.nth faults (R.int rng (List.length faults)) in
+      let faulty = F.inject c fault in
+      let m, top = F.miter c faulty in
+      let cnf = Ps_circuit.Tseitin.encode m in
+      let s = Solver.create () in
+      ignore (Solver.load s cnf);
+      ignore (Solver.add_clause s [ Lit.pos top ]);
+      let sat = Solver.solve s = Solver.Sat in
+      (* oracle: some input vector detects *)
+      let detected = ref false in
+      let nin = List.length (N.inputs c) in
+      let inputs = Array.make nin false in
+      for code = 0 to (1 lsl nin) - 1 do
+        Array.iteri (fun i _ -> inputs.(i) <- (code lsr i) land 1 = 1) inputs;
+        if F.detects c fault ~inputs ~state:[||] then detected := true
+      done;
+      sat = !detected)
+
+let test_all_faults_count () =
+  let c = Ps_gen.Iscas.s27 () in
+  check_int "2 faults per net" (2 * N.num_nets c) (List.length (F.all_faults c))
+
+(* --- Bmc --------------------------------------------------------------------- *)
+
+let test_bmc_counter () =
+  let c = Ps_gen.Counters.binary ~bits:4 () in
+  (* from 0, the value 10 is reachable in exactly 10 steps *)
+  match Bmc.check c ~init:(T.value ~bits:4 0) ~bad:(T.value ~bits:4 10) ~max_depth:12 with
+  | None -> Alcotest.fail "expected a counterexample"
+  | Some cex ->
+    check_int "shortest depth" 10 cex.Bmc.depth;
+    check_int "one vector per cycle" 10 (List.length cex.Bmc.inputs);
+    Alcotest.(check (array bool)) "starts at 0" [| false; false; false; false |]
+      cex.Bmc.initial;
+    check_bool "ends bad" true (T.mem (T.value ~bits:4 10) cex.Bmc.final)
+
+let test_bmc_depth0_and_safe () =
+  let c = Ps_gen.Counters.modulo ~bits:4 ~m:10 () in
+  (* init itself bad: depth 0 *)
+  (match Bmc.check c ~init:(T.value ~bits:4 11) ~bad:(T.upper_half ~bits:4) ~max_depth:3 with
+  | Some cex -> check_int "depth 0" 0 cex.Bmc.depth
+  | None -> Alcotest.fail "expected depth-0 counterexample");
+  (* mod-10 counter from 0 never shows >= 10 *)
+  match
+    Bmc.check c ~init:(T.value ~bits:4 0)
+      ~bad:(T.of_strings [ "-1-1"; "--11" ])
+      ~max_depth:25
+  with
+  | None -> ()
+  | Some _ -> Alcotest.fail "mod-10 counter should be safe"
+
+let bmc_agrees_with_reach =
+  Helpers.qtest "BMC counterexample depth = backward-reach layer" ~count:15
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = R.create ~seed in
+      let c =
+        Helpers.random_seq rng ~nin:(1 + R.int rng 2) ~nlatches:(2 + R.int rng 3)
+          ~ngates:(3 + R.int rng 10)
+      in
+      let nstate = List.length (N.latches c) in
+      let init_bits = Array.init nstate (fun _ -> R.bool rng) in
+      let init_code =
+        Array.to_list init_bits
+        |> List.mapi (fun i b -> if b then 1 lsl i else 0)
+        |> List.fold_left ( + ) 0
+      in
+      let bad = T.random ~bits:nstate ~ncubes:1 ~density:0.6 rng in
+      let r = Rh.backward c bad in
+      let expected_depth =
+        if not (Rh.mem r init_bits) then None
+        else begin
+          let layers = Array.of_list r.Rh.layers in
+          let rec find i = if Ps_bdd.Bdd.eval layers.(i) init_bits then i else find (i + 1) in
+          Some (find 0)
+        end
+      in
+      let bmc = Bmc.check c ~init:(T.value ~bits:nstate init_code) ~bad ~max_depth:20 in
+      match (expected_depth, bmc) with
+      | None, None -> true
+      | Some d, Some cex -> cex.Bmc.depth = d
+      | _ -> false)
+
+(* --- Opt ---------------------------------------------------------------------- *)
+
+let test_opt_stats () =
+  let c = Ps_gen.Counters.binary ~bits:4 () in
+  check_bool "depth positive" true (Opt.depth c > 0);
+  check_bool "fanout positive" true (Opt.max_fanout c > 0);
+  let hist = Opt.gate_histogram c in
+  check_int "xor count" 4
+    (List.assoc Ps_circuit.Gate.Xor hist);
+  check_int "and count" 4
+    (List.assoc Ps_circuit.Gate.And hist)
+
+let opt_preserves_semantics =
+  Helpers.qtest "constant_fold and sweep preserve observable behaviour" ~count:60
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = R.create ~seed in
+      (* random circuit with injected constants *)
+      let base =
+        Helpers.random_seq rng ~nin:(1 + R.int rng 3) ~nlatches:(1 + R.int rng 3)
+          ~ngates:(3 + R.int rng 12)
+      in
+      (* fault-inject a constant to create folding opportunities *)
+      let gates = Array.to_list (N.topo_gates base) in
+      let victim = List.nth gates (R.int rng (List.length gates)) in
+      let c = F.inject base { F.net = victim; stuck_at = R.bool rng } in
+      let folded = Opt.constant_fold c in
+      let swept = Opt.cleanup c in
+      let nstate = List.length (N.latches c) in
+      let nin = List.length (N.inputs c) in
+      let ok = ref true in
+      for code = 0 to min 63 ((1 lsl (nstate + nin)) - 1) do
+        let inputs = Array.init nin (fun i -> (code lsr i) land 1 = 1) in
+        let state = Array.init nstate (fun i -> (code lsr (nin + i)) land 1 = 1) in
+        let o1, s1 = Sim.step c ~inputs ~state in
+        let o2, s2 = Sim.step folded ~inputs ~state in
+        let o3, s3 = Sim.step swept ~inputs ~state in
+        if o1 <> o2 || s1 <> s2 || o1 <> o3 || s1 <> s3 then ok := false
+      done;
+      !ok && N.num_gates swept <= N.num_gates c)
+
+let test_sweep_removes_dead () =
+  let b = Ps_circuit.Builder.create () in
+  let x = Ps_circuit.Builder.input b "x" in
+  let live = Ps_circuit.Builder.not_ b ~name:"live" x in
+  let _dead = Ps_circuit.Builder.and_ b ~name:"dead" [ x; x ] in
+  Ps_circuit.Builder.output b live;
+  let n = Ps_circuit.Builder.finalize b in
+  let swept = Opt.sweep n in
+  check_int "dead gate dropped" 1 (N.num_gates swept);
+  check_bool "live kept" true (N.find_opt swept "live" <> None);
+  check_bool "dead gone" true (N.find_opt swept "dead" = None)
+
+(* --- Simplify ------------------------------------------------------------------- *)
+
+let simplify_preserves_models =
+  Helpers.qtest "simplify preserves the model set exactly" ~count:120
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = R.create ~seed in
+      let nvars = 1 + R.int rng 7 in
+      let cnf = Helpers.random_cnf rng ~nvars ~nclauses:(R.int rng 14) ~max_len:3 in
+      let simplified, report = Simplify.simplify cnf in
+      let models f = List.map Array.to_list (Cnf.brute_force_models f) in
+      if report.Simplify.unsat then models cnf = []
+      else models cnf = models simplified)
+
+let simplify_pure_preserves_sat =
+  Helpers.qtest "pure-literal elimination preserves satisfiability" ~count:100
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = R.create ~seed in
+      let nvars = 1 + R.int rng 7 in
+      let cnf = Helpers.random_cnf rng ~nvars ~nclauses:(R.int rng 12) ~max_len:3 in
+      let simplified, report = Simplify.simplify ~pure_literals:true cnf in
+      let sat = Cnf.brute_force_sat cnf in
+      if report.Simplify.unsat then not sat
+      else sat = Cnf.brute_force_sat simplified)
+
+let test_simplify_cases () =
+  let lp = Lit.pos and ln = Lit.neg in
+  (* tautology dropped *)
+  let f = Cnf.of_clauses ~nvars:2 [ [ lp 0; ln 0 ]; [ lp 1 ] ] in
+  let g, report = Simplify.simplify f in
+  check_bool "not unsat" false report.Simplify.unsat;
+  check_int "only the unit remains" 1 (Cnf.nclauses g);
+  Alcotest.(check (list int)) "fixed" [ lp 1 ] report.Simplify.fixed;
+  (* unit propagation chain derives everything *)
+  let f =
+    Cnf.of_clauses ~nvars:3 [ [ lp 0 ]; [ ln 0; lp 1 ]; [ ln 1; lp 2 ] ]
+  in
+  let _, report = Simplify.simplify f in
+  check_int "all fixed" 3 (List.length report.Simplify.fixed);
+  (* contradiction *)
+  let f = Cnf.of_clauses ~nvars:1 [ [ lp 0 ]; [ ln 0 ] ] in
+  let _, report = Simplify.simplify f in
+  check_bool "unsat" true report.Simplify.unsat;
+  (* subsumption *)
+  let f = Cnf.of_clauses ~nvars:3 [ [ lp 0; lp 1 ]; [ lp 0; lp 1; lp 2 ] ] in
+  let g, _ = Simplify.simplify f in
+  check_int "subsumed dropped" 1 (Cnf.nclauses g);
+  (* self-subsuming resolution: (a|b) & (a|!b|c) -> (a|b) & (a|c) *)
+  let f = Cnf.of_clauses ~nvars:3 [ [ lp 0; lp 1 ]; [ lp 0; ln 1; lp 2 ] ] in
+  let g, report = Simplify.simplify f in
+  check_int "clauses kept" 2 (Cnf.nclauses g);
+  check_bool "a literal was removed" true (report.Simplify.removed_literals > 0)
+
+(* --- Atpg ------------------------------------------------------------------------ *)
+
+let test_atpg_s27 () =
+  let c = Ps_gen.Iscas.s27 () in
+  let reports = Preimage.Atpg.all c in
+  let n, detectable, vectors, avg_cover = Preimage.Atpg.summary reports in
+  check_int "fault count" (2 * N.num_nets c) n;
+  check_bool "most faults detectable" true (detectable > n / 2);
+  check_bool "vectors counted" true (vectors > 0.0);
+  check_bool "cover sane" true (avg_cover >= 1.0);
+  (* the one guaranteed-undetectable pattern: a fault that does not change
+     any output under any vector is reported not detectable; verify report
+     consistency instead of a specific fault *)
+  List.iter
+    (fun r ->
+      check_bool "detectable iff vectors" true
+        (r.Preimage.Atpg.detectable = (r.Preimage.Atpg.vectors > 0.0)))
+    reports
+
+let atpg_engines_agree =
+  Helpers.qtest "ATPG test sets agree across engines and with the oracle" ~count:15
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = R.create ~seed in
+      let c = Helpers.random_comb rng ~nin:(2 + R.int rng 3) ~ngates:(2 + R.int rng 8) in
+      let faults = F.all_faults c in
+      let fault = List.nth faults (R.int rng (List.length faults)) in
+      let r_sds, cubes_sds = Preimage.Atpg.test_set ~method_:Preimage.Engine.Sds c fault in
+      let r_blk, _ = Preimage.Atpg.test_set ~method_:Preimage.Engine.Blocking c fault in
+      (* oracle over all input vectors (combinational circuit: no latches) *)
+      let nin = List.length (N.inputs c) in
+      let detected = ref 0 in
+      let inputs = Array.make nin false in
+      for code = 0 to (1 lsl nin) - 1 do
+        Array.iteri (fun i _ -> inputs.(i) <- (code lsr i) land 1 = 1) inputs;
+        if F.detects c fault ~inputs ~state:[||] then incr detected
+      done;
+      r_sds.Preimage.Atpg.vectors = float_of_int !detected
+      && r_blk.Preimage.Atpg.vectors = float_of_int !detected
+      && List.for_all
+           (fun cube ->
+             (* every cube minterm detects *)
+             let ok = ref true in
+             Ps_allsat.Cube.iter_minterms cube (fun bits ->
+                 if not (F.detects c fault ~inputs:bits ~state:[||]) then ok := false);
+             !ok)
+           cubes_sds)
+
+(* --- unsat core -------------------------------------------------------------------- *)
+
+let test_unsat_core_basic () =
+  (* F = (!a | !b); assumptions a, b, c: core must avoid c *)
+  let s = Solver.create () in
+  Solver.ensure_vars s 3;
+  ignore (Solver.add_clause s [ Lit.neg 0; Lit.neg 1 ]);
+  let a = Lit.pos 0 and b = Lit.pos 1 and c = Lit.pos 2 in
+  Alcotest.(check bool) "unsat" true
+    (Solver.solve ~assumptions:[ a; b; c ] s = Solver.Unsat);
+  let core = Solver.unsat_core s in
+  check_bool "core subset of assumptions" true
+    (List.for_all (fun l -> List.mem l [ a; b; c ]) core);
+  check_bool "c not needed" true (not (List.mem c core));
+  (* the core itself is unsatisfying *)
+  Alcotest.(check bool) "core refutes" true
+    (Solver.solve ~assumptions:core s = Solver.Unsat)
+
+let unsat_core_sound =
+  Helpers.qtest "unsat cores are subsets that still refute" ~count:80
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = R.create ~seed in
+      let nvars = 2 + R.int rng 7 in
+      let cnf = Helpers.random_cnf rng ~nvars ~nclauses:(R.int rng 14) ~max_len:3 in
+      let s = Solver.create () in
+      if not (Solver.load s cnf) then true
+      else begin
+        let assumptions =
+          List.init nvars (fun v -> Lit.make v (R.bool rng))
+        in
+        match Solver.solve ~assumptions s with
+        | Solver.Sat -> true
+        | Solver.Unsat ->
+          let core = Solver.unsat_core s in
+          List.for_all (fun l -> List.mem l assumptions) core
+          && Solver.solve ~assumptions:core s = Solver.Unsat
+      end)
+
+let () =
+  Alcotest.run "extensions2"
+    [
+      ( "expr",
+        [
+          Alcotest.test_case "parse/eval" `Quick test_expr_parse_eval;
+          Alcotest.test_case "operators" `Quick test_expr_operators;
+          Alcotest.test_case "errors" `Quick test_expr_errors;
+          expr_netlist_matches_eval;
+          Alcotest.test_case "targets of_expr" `Quick test_targets_of_expr;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "injection" `Quick test_fault_injection;
+          Alcotest.test_case "self-miter unsat" `Quick test_miter_self_unsat;
+          miter_agrees_with_detects;
+          Alcotest.test_case "all_faults count" `Quick test_all_faults_count;
+        ] );
+      ( "bmc",
+        [
+          Alcotest.test_case "counter" `Quick test_bmc_counter;
+          Alcotest.test_case "depth 0 and safe" `Quick test_bmc_depth0_and_safe;
+          bmc_agrees_with_reach;
+        ] );
+      ( "opt",
+        [
+          Alcotest.test_case "stats" `Quick test_opt_stats;
+          opt_preserves_semantics;
+          Alcotest.test_case "sweep dead logic" `Quick test_sweep_removes_dead;
+        ] );
+      ( "simplify",
+        [
+          simplify_preserves_models;
+          simplify_pure_preserves_sat;
+          Alcotest.test_case "crafted cases" `Quick test_simplify_cases;
+        ] );
+      ( "atpg",
+        [
+          Alcotest.test_case "s27 fault universe" `Quick test_atpg_s27;
+          atpg_engines_agree;
+        ] );
+      ( "unsat_core",
+        [
+          Alcotest.test_case "basic" `Quick test_unsat_core_basic;
+          unsat_core_sound;
+        ] );
+    ]

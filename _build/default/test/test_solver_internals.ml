@@ -1,0 +1,175 @@
+(* Deeper solver behaviour: learnt-database reduction, restarts, phase
+   saving, incremental reuse across many queries, wide clauses, and the
+   interaction between preprocessing and solving. *)
+
+module Lit = Ps_sat.Lit
+module Cnf = Ps_sat.Cnf
+module Solver = Ps_sat.Solver
+module Simplify = Ps_sat.Simplify
+module Stats = Ps_util.Stats
+module R = Ps_util.Rng
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let php n m =
+  let var p h = (p * m) + h in
+  let cnf = ref (Cnf.of_clauses ~nvars:(n * m) []) in
+  for p = 0 to n - 1 do
+    cnf := Cnf.add_clause !cnf (List.init m (fun h -> Lit.pos (var p h)))
+  done;
+  for h = 0 to m - 1 do
+    for p1 = 0 to n - 1 do
+      for p2 = p1 + 1 to n - 1 do
+        cnf := Cnf.add_clause !cnf [ Lit.neg (var p1 h); Lit.neg (var p2 h) ]
+      done
+    done
+  done;
+  !cnf
+
+let solver_of cnf =
+  let s = Solver.create () in
+  ignore (Solver.load s cnf);
+  s
+
+(* --- restarts and DB reduction ------------------------------------------- *)
+
+let test_restarts_happen () =
+  let s = solver_of (php 7 6) in
+  ignore (Solver.solve s);
+  let st = Solver.stats s in
+  check_bool "hard instance restarts" true (Stats.get st "restarts" > 0);
+  check_bool "learnt clauses recorded" true (Stats.get st "learnt" > 0);
+  check_bool "minimization fired" true (Stats.get st "minimized_lits" > 0)
+
+let test_learnts_bounded_under_enumeration () =
+  (* enumerate a large model set; learnt DB must not retain everything *)
+  let nvars = 10 in
+  (* 63 * 2^4 = 1008 projected models *)
+  let cnf = Cnf.of_clauses ~nvars [ List.init 6 Lit.pos ] in
+  let s = solver_of cnf in
+  let continue = ref true in
+  let rounds = ref 0 in
+  while !continue && !rounds < 3000 do
+    incr rounds;
+    match Solver.solve s with
+    | Solver.Unsat -> continue := false
+    | Solver.Sat ->
+      let block =
+        List.init nvars (fun v -> Lit.make v (not (Solver.model_value s v)))
+      in
+      if not (Solver.add_clause s block) then continue := false
+  done;
+  check_bool "finished" true (not !continue);
+  (* problem clauses grow with blocking; learnt clauses must stay modest *)
+  check_bool "learnt DB bounded" true (Solver.n_learnts s < 10_000)
+
+(* --- incremental reuse ------------------------------------------------------ *)
+
+let test_thousand_queries_one_solver () =
+  (* the SDS usage pattern: very many assumption probes on one solver *)
+  let nvars = 12 in
+  let rng = R.create ~seed:31 in
+  let cnf = Helpers.random_cnf rng ~nvars ~nclauses:30 ~max_len:3 in
+  let s = solver_of cnf in
+  let reference = solver_of cnf in
+  ignore reference;
+  let brute = Cnf.brute_force_models cnf in
+  let model_set = Hashtbl.create 64 in
+  List.iter (fun m -> Hashtbl.replace model_set (Array.to_list m) ()) brute;
+  let mismatches = ref 0 in
+  for _ = 1 to 1000 do
+    let k = R.int rng nvars in
+    let assumptions = List.init k (fun v -> Lit.make v (R.bool rng)) in
+    let expected =
+      Hashtbl.fold
+        (fun m () acc ->
+          acc
+          || List.for_all
+               (fun l ->
+                 let v = Lit.var l in
+                 List.nth m v = Lit.sign l)
+               assumptions)
+        model_set false
+    in
+    let got = Solver.solve ~assumptions s = Solver.Sat in
+    if got <> expected then incr mismatches
+  done;
+  check_int "all 1000 probes exact" 0 !mismatches
+
+(* --- phase saving ------------------------------------------------------------ *)
+
+let test_phase_saving_stability () =
+  (* a satisfiable instance solved twice yields the same model (phases are
+     saved, no randomness) *)
+  let rng = R.create ~seed:77 in
+  let cnf = Helpers.random_cnf rng ~nvars:10 ~nclauses:20 ~max_len:3 in
+  if Cnf.brute_force_sat cnf then begin
+    let s = solver_of cnf in
+    ignore (Solver.solve s);
+    let m1 = Solver.model s in
+    ignore (Solver.solve s);
+    let m2 = Solver.model s in
+    Alcotest.(check (array bool)) "stable model" m1 m2
+  end
+
+(* --- wide clauses -------------------------------------------------------------- *)
+
+let test_wide_clauses () =
+  (* one 200-literal clause plus binaries forcing all but one literal false *)
+  let n = 200 in
+  let wide = List.init n Lit.pos in
+  let forcing = List.init (n - 1) (fun v -> [ Lit.neg v ]) in
+  let cnf = Cnf.of_clauses ~nvars:n (wide :: forcing) in
+  let s = solver_of cnf in
+  Alcotest.(check bool) "sat" true (Solver.solve s = Solver.Sat);
+  check_bool "survivor forced true" true (Solver.model_value s (n - 1))
+
+(* --- simplify + solve --------------------------------------------------------- *)
+
+let simplify_then_solve_agrees =
+  Helpers.qtest "solving the simplified formula = solving the original" ~count:150
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = R.create ~seed in
+      let nvars = 1 + R.int rng 9 in
+      let cnf = Helpers.random_cnf rng ~nvars ~nclauses:(R.int rng 18) ~max_len:4 in
+      let simplified, report = Simplify.simplify cnf in
+      let solve f = Solver.solve (solver_of f) = Solver.Sat in
+      if report.Simplify.unsat then not (solve cnf)
+      else solve cnf = solve simplified)
+
+let test_solver_growing_vars () =
+  (* variables added between solves are unconstrained and free *)
+  let s = Solver.create () in
+  ignore (Solver.add_clause s [ Lit.pos 0 ]);
+  Alcotest.(check bool) "sat" true (Solver.solve s = Solver.Sat);
+  let v = Solver.new_var s in
+  Alcotest.(check bool) "still sat" true
+    (Solver.solve ~assumptions:[ Lit.pos v ] s = Solver.Sat);
+  Alcotest.(check bool) "and with the other phase" true
+    (Solver.solve ~assumptions:[ Lit.neg v ] s = Solver.Sat);
+  check_int "var count grew" 2 (Solver.nvars s)
+
+let () =
+  Alcotest.run "solver_internals"
+    [
+      ( "dynamics",
+        [
+          Alcotest.test_case "restarts and learning" `Quick test_restarts_happen;
+          Alcotest.test_case "bounded learnt DB" `Quick
+            test_learnts_bounded_under_enumeration;
+        ] );
+      ( "incremental",
+        [
+          Alcotest.test_case "1000 assumption probes" `Quick
+            test_thousand_queries_one_solver;
+          Alcotest.test_case "growing variables" `Quick test_solver_growing_vars;
+        ] );
+      ( "behaviour",
+        [
+          Alcotest.test_case "phase saving" `Quick test_phase_saving_stability;
+          Alcotest.test_case "wide clauses" `Quick test_wide_clauses;
+        ] );
+      ("preprocessing", [ simplify_then_solve_agrees ]);
+    ]
