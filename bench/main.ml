@@ -73,9 +73,22 @@ let g x = Printf.sprintf "%g" x
    run with a DNF marker instead of hanging it. *)
 let blocking_cap = 20_000
 
-let run_capped m inst = E.run ~limit:blocking_cap m inst
+(* Optional global budget/trace, set from --timeout / --conflict-limit /
+   --trace command-line flags. A fresh budget is built per engine run so
+   every table row gets the full allowance. *)
+let bench_timeout = ref None
+let bench_conflicts = ref None
+let bench_trace = ref Ps_util.Trace.null
 
-let mark_dnf r cell = if r.E.complete then cell else cell ^ "*"
+let bench_budget () =
+  match (!bench_timeout, !bench_conflicts) with
+  | None, None -> None
+  | timeout_s, conflicts -> Some (Ps_util.Budget.make ?timeout_s ?conflicts ())
+
+let run_capped m inst =
+  E.run ?budget:(bench_budget ()) ~trace:!bench_trace ~limit:blocking_cap m inst
+
+let mark_dnf r cell = if E.complete r then cell else cell ^ "*"
 
 (* --- Table 1: benchmark characteristics ---------------------------------- *)
 
@@ -127,8 +140,8 @@ let table2 () =
               mark_dnf r (g r.E.solutions);
               mark_dnf r (string_of_int r.E.n_cubes);
               (match r.E.graph_nodes with Some n -> string_of_int n | None -> "-");
-              string_of_int (Stats.get r.E.stats "sat_calls");
-              string_of_int (Stats.get r.E.stats "conflicts");
+              string_of_int (Stats.get (E.stats r) "sat_calls");
+              string_of_int (Stats.get (E.stats r) "conflicts");
               ms r.E.time_s;
             ])
           E.all_methods)
@@ -229,7 +242,7 @@ let fig1 () =
               g solutions;
               E.method_name m;
               mark_dnf r (ms r.E.time_s);
-              mark_dnf r (string_of_int (Stats.get r.E.stats "sat_calls"));
+              mark_dnf r (string_of_int (Stats.get (E.stats r) "sat_calls"));
             ])
           [ E.Sds; E.BlockingLift; E.Blocking ])
       [ 4; 6; 8; 10; 12; 14; 16 ]
@@ -279,7 +292,7 @@ let fig3 () =
         let inst = I.make c (Suite.default_target e) in
         let r = run_capped E.BlockingLift inst in
         let width = Ps_allsat.Project.width inst.I.proj in
-        let cubes = r.E.cubes in
+        let cubes = E.cubes r in
         let n = max (List.length cubes) 1 in
         let avg_fixed =
           float_of_int (List.fold_left (fun a c -> a + Cube.num_fixed c) 0 cubes)
@@ -310,11 +323,11 @@ let fig4 () =
         let inst = I.make c (Suite.default_target e) in
         let r_on = E.run E.Sds inst in
         let r_off = E.run E.SdsNoMemo inst in
-        let nodes r = Stats.get r.E.stats "search_nodes" in
+        let nodes r = Stats.get (E.stats r) "search_nodes" in
         [
           e.Suite.name;
           string_of_int (nodes r_on);
-          string_of_int (Stats.get r_on.E.stats "memo_hits");
+          string_of_int (Stats.get (E.stats r_on) "memo_hits");
           ms r_on.E.time_s;
           string_of_int (nodes r_off);
           ms r_off.E.time_s;
@@ -388,7 +401,7 @@ let table5 () =
             let t0 = Unix.gettimeofday () in
             let rec chain cubes k =
               if k = 0 || cubes = [] then cubes
-              else chain (E.run E.Sds (I.make circuit cubes)).E.cubes (k - 1)
+              else chain (E.cubes (E.run E.Sds (I.make circuit cubes))) (k - 1)
             in
             let chained = chain target k in
             let chained_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
@@ -425,15 +438,15 @@ let fig6 () =
         let inst = I.make c (Suite.default_target e) in
         let r = run_capped E.BlockingLift inst in
         let width = Ps_allsat.Project.width inst.I.proj in
-        let minimized = Ps_allsat.Cube_set.minimize r.E.cubes in
+        let minimized = Ps_allsat.Cube_set.minimize (E.cubes r) in
         let sds = E.run E.Sds inst in
         [
           e.Suite.name;
           mark_dnf r (string_of_int r.E.n_cubes);
           string_of_int (List.length minimized);
-          string_of_int (List.length (Ps_allsat.Cube_set.reduce r.E.cubes));
+          string_of_int (List.length (Ps_allsat.Cube_set.reduce (E.cubes r)));
           string_of_int sds.E.n_cubes;
-          (if Ps_allsat.Cube_set.equal_union width r.E.cubes minimized then "yes"
+          (if Ps_allsat.Cube_set.equal_union width (E.cubes r) minimized then "yes"
            else "NO!");
         ])
       Suite.medium
@@ -508,8 +521,8 @@ let fig7 () =
             [
               e.Suite.name;
               oname;
-              string_of_int (Stats.get r.E.stats "search_nodes");
-              string_of_int (Stats.get r.E.stats "memo_hits");
+              string_of_int (Stats.get (E.stats r) "search_nodes");
+              string_of_int (Stats.get (E.stats r) "memo_hits");
               (match r.E.graph_nodes with Some n -> string_of_int n | None -> "-");
               ms r.E.time_s;
             ])
@@ -603,7 +616,7 @@ let bechamel_section () =
         Test.make ~name:"fig6-minimize-count8"
           (Staged.stage
              (let r = E.run E.BlockingLift inst8 in
-              fun () -> ignore (Ps_allsat.Cube_set.minimize r.E.cubes)));
+              fun () -> ignore (Ps_allsat.Cube_set.minimize (E.cubes r))));
         Test.make ~name:"fig5-sds-parity-lfsr"
           (Staged.stage
              (let c = Ps_gen.Lfsr.fibonacci ~bits:16 ~taps:[ 0; 1; 2; 3; 4; 5; 6; 7 ] () in
@@ -633,6 +646,24 @@ let bechamel_section () =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  (* --timeout S / --conflict-limit N / --trace FILE set the global
+     budget/trace for every engine run; remaining words select experiments. *)
+  let rec parse_flags acc = function
+    | "--timeout" :: v :: rest ->
+      bench_timeout := Some (float_of_string v);
+      parse_flags acc rest
+    | "--conflict-limit" :: v :: rest ->
+      bench_conflicts := Some (int_of_string v);
+      parse_flags acc rest
+    | "--trace" :: path :: rest ->
+      let sink, close = Ps_util.Trace.jsonl_file path in
+      bench_trace := sink;
+      at_exit close;
+      parse_flags acc rest
+    | a :: rest -> parse_flags (a :: acc) rest
+    | [] -> List.rev acc
+  in
+  let args = parse_flags [] args in
   let args =
     if List.mem "csv" args then begin
       csv_dir := Some "bench_out";

@@ -46,6 +46,58 @@ let target_arg =
   in
   Arg.(value & opt string "upper-half" & info [ "t"; "target" ] ~docv:"TARGET" ~doc)
 
+(* --- budget / trace flags (shared by preimage and allsat) -------------- *)
+
+let timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "timeout" ] ~docv:"SECONDS"
+        ~doc:
+          "Wall-clock budget. When it expires the run stops and reports the \
+           cubes found so far (stop reason $(b,deadline)).")
+
+let conflict_limit_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "conflict-limit" ] ~docv:"N"
+        ~doc:
+          "Total SAT conflict budget across the whole run; deterministic \
+           alternative to $(b,--timeout).")
+
+let trace_file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Append structured trace events (restarts, cubes, phases, stop \
+           reason) to FILE as JSON lines. See docs/OBSERVABILITY.md.")
+
+let die fmt = Printf.ksprintf (fun s -> prerr_endline ("preimage_cli: " ^ s); exit 2) fmt
+
+let make_budget timeout_s conflicts =
+  (match timeout_s with
+  | Some t when t < 0.0 -> die "--timeout must be non-negative (got %g)" t
+  | _ -> ());
+  (match conflicts with
+  | Some c when c < 0 -> die "--conflict-limit must be non-negative (got %d)" c
+  | _ -> ());
+  match (timeout_s, conflicts) with
+  | None, None -> None
+  | _ -> Some (Ps_util.Budget.make ?timeout_s ?conflicts ())
+
+let with_trace path f =
+  match path with
+  | None -> f Ps_util.Trace.null
+  | Some p ->
+    let sink, close =
+      try Ps_util.Trace.jsonl_file p
+      with Sys_error msg -> die "cannot open trace file: %s" msg
+    in
+    Fun.protect ~finally:close (fun () -> f sink)
+
 (* --- suite ------------------------------------------------------------ *)
 
 let suite_cmd =
@@ -112,7 +164,7 @@ let preimage_cmd =
     Arg.(
       value
       & opt (some int) None
-      & info [ "limit" ] ~docv:"N" ~doc:"Cap enumerated cubes (blocking engines).")
+      & info [ "limit" ] ~docv:"N" ~doc:"Cap enumerated cubes (all engines).")
   in
   let show_cubes =
     Arg.(value & flag & info [ "cubes" ] ~doc:"Print every solution cube.")
@@ -132,7 +184,8 @@ let preimage_cmd =
           ~doc:"Universal (forall-input) preimage: states guaranteed to land \
                 in the target.")
   in
-  let run spec target_spec engine include_inputs limit show_cubes bdd ksteps universal =
+  let run spec target_spec engine include_inputs limit show_cubes bdd ksteps
+      universal timeout conflict_limit trace_file =
     let circuit = load_circuit spec in
     let target = parse_target circuit target_spec in
     match (ksteps, universal) with
@@ -141,12 +194,12 @@ let preimage_cmd =
       let r = Preimage.Kstep.preimage ~method_:engine circuit target ~k in
       Format.printf "k=%d engine=%s solutions=%g cubes=%d time=%.4fs@." k
         (E.method_name engine) r.Preimage.Kstep.solutions
-        (List.length r.Preimage.Kstep.cubes)
+        (List.length (Preimage.Kstep.cubes r))
         r.Preimage.Kstep.time_s;
       if show_cubes then
         List.iter
           (fun c -> Format.printf "  %a@." Ps_allsat.Cube.pp c)
-          r.Preimage.Kstep.cubes
+          (Preimage.Kstep.cubes r)
     | None, true ->
       let r = Preimage.Universal.preimage ~method_:engine circuit target in
       Format.printf "universal preimage: %g states, %d cubes, time=%.4fs@."
@@ -159,7 +212,10 @@ let preimage_cmd =
           r.Preimage.Universal.cubes
     | None, false ->
     let instance = I.make ~include_inputs circuit target in
-    let r = E.run ?limit engine instance in
+    let budget = make_budget timeout conflict_limit in
+    let r =
+      with_trace trace_file (fun trace -> E.run ?budget ~trace ?limit engine instance)
+    in
     Format.printf
       "engine=%s solutions=%g cubes=%d%s time=%.4fs sat_calls=%d conflicts=%d@."
       (E.method_name r.E.method_) r.E.solutions r.E.n_cubes
@@ -167,13 +223,15 @@ let preimage_cmd =
       | Some n -> Printf.sprintf " graph_nodes=%d" n
       | None -> "")
       r.E.time_s
-      (Ps_util.Stats.get r.E.stats "sat_calls")
-      (Ps_util.Stats.get r.E.stats "conflicts");
-    if not r.E.complete then Format.printf "(incomplete: cube limit reached)@.";
+      (Ps_util.Stats.get (E.stats r) "sat_calls")
+      (Ps_util.Stats.get (E.stats r) "conflicts");
+    if not (E.complete r) then
+      Format.printf "(partial: stopped on %s)@."
+        (Ps_allsat.Run.stopped_name (E.stopped r));
     if show_cubes then
       List.iter
         (fun c -> Format.printf "  %a@." (Ps_allsat.Project.pp_cube instance.I.proj) c)
-        r.E.cubes;
+        (E.cubes r);
     if bdd then begin
       let br = Preimage.Bdd_engine.run instance in
       Format.printf
@@ -187,7 +245,8 @@ let preimage_cmd =
     (Cmd.info "preimage" ~doc:"Compute a one-step preimage")
     Term.(
       const run $ circuit_arg $ target_arg $ engine $ include_inputs $ limit
-      $ show_cubes $ bdd $ ksteps $ universal)
+      $ show_cubes $ bdd $ ksteps $ universal $ timeout_arg $ conflict_limit_arg
+      $ trace_file_arg)
 
 (* --- reach -------------------------------------------------------------- *)
 
@@ -275,7 +334,7 @@ let allsat_cmd =
       value & flag
       & info [ "minimize" ] ~doc:"Post-process the cover (subsumption + merging).")
   in
-  let run file width limit use_lift minimize =
+  let run file width limit use_lift minimize timeout conflict_limit trace_file =
     let cnf, declared = Ps_sat.Dimacs.parse_file_projected file in
     let proj =
       match (width, declared) with
@@ -293,20 +352,27 @@ let allsat_cmd =
       Format.printf "unsatisfiable at root@."
     else begin
       let lift = if use_lift then Some (Ps_allsat.Cnf_lift.make cnf proj) else None in
-      let r = Ps_allsat.Blocking.enumerate ~limit ?lift solver proj in
-      let cubes = r.Ps_allsat.Blocking.cubes in
+      let budget = make_budget timeout conflict_limit in
+      let r =
+        with_trace trace_file (fun trace ->
+            Ps_allsat.Blocking.enumerate ~limit ?budget ~trace ?lift solver proj)
+      in
+      let cubes = r.Ps_allsat.Run.cubes in
       let cubes = if minimize then Ps_allsat.Cube_set.minimize cubes else cubes in
       Format.printf "%d cubes covering %g projected solutions%s (%d SAT calls)@."
         (List.length cubes)
         (Ps_allsat.Cube_set.union_count w cubes)
-        (if r.Ps_allsat.Blocking.complete then "" else " [limit]")
-        r.Ps_allsat.Blocking.sat_calls;
+        (if Ps_allsat.Run.complete r then ""
+         else Printf.sprintf " [%s]" (Ps_allsat.Run.stopped_name r.Ps_allsat.Run.stopped))
+        (Ps_allsat.Blocking.sat_calls r);
       List.iter (fun c -> Format.printf "%a@." Ps_allsat.Cube.pp c) cubes
     end
   in
   Cmd.v
     (Cmd.info "allsat" ~doc:"Enumerate projected solutions of a DIMACS formula")
-    Term.(const run $ file $ width $ limit $ use_lift $ minimize)
+    Term.(
+      const run $ file $ width $ limit $ use_lift $ minimize $ timeout_arg
+      $ conflict_limit_arg $ trace_file_arg)
 
 (* --- bmc ------------------------------------------------------------------ *)
 

@@ -46,9 +46,9 @@ let () =
   end;
   let r = A.Blocking.enumerate ~limit:100_000 solver proj in
   Format.printf "projected solutions (first %d vars): %d%s, %d SAT calls@."
-    width (List.length r.A.Blocking.cubes)
-    (if r.A.Blocking.complete then "" else " (limit hit)")
-    r.A.Blocking.sat_calls;
+    width (List.length r.A.Run.cubes)
+    (if A.Run.complete r then "" else " (limit hit)")
+    (A.Blocking.sat_calls r);
   let man = A.Solution_graph.new_man ~width in
   let g = A.Blocking.to_graph man r in
   Format.printf "as a solution graph: %d nodes for %g solutions@."
@@ -57,5 +57,5 @@ let () =
   Format.printf "@.solutions:@.";
   List.iteri
     (fun i c -> if i < 30 then Format.printf "  %a@." A.Cube.pp c)
-    r.A.Blocking.cubes;
-  if List.length r.A.Blocking.cubes > 30 then Format.printf "  ...@."
+    r.A.Run.cubes;
+  if List.length r.A.Run.cubes > 30 then Format.printf "  ...@."

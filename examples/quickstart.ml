@@ -35,7 +35,7 @@ let () =
         c
         (let s = Ps_allsat.Cube.to_string c in
          String.init (String.length s) (fun i -> s.[String.length s - 1 - i])))
-    result.E.cubes;
+    (E.cubes result);
 
   (* 4. Compare engines: every method returns the same set. *)
   Format.printf "@.Engine comparison:@.";
@@ -44,7 +44,7 @@ let () =
       let r = E.run m instance in
       Format.printf "  %-14s solutions=%-6g cubes=%-4d sat_calls=%d@."
         (E.method_name m) r.E.solutions r.E.n_cubes
-        (Ps_util.Stats.get r.E.stats "sat_calls"))
+        (Ps_util.Stats.get (E.stats r) "sat_calls"))
     E.all_methods;
   match Preimage.Check.engines_agree instance (List.map (fun m -> E.run m instance) E.all_methods) with
   | Ok n -> Format.printf "All engines agree (including BDD baseline): %g states@." n

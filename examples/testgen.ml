@@ -74,7 +74,7 @@ let () =
   (* Complete test set, three ways. *)
   let r_min = A.Blocking.enumerate (mk_solver ()) proj in
   Format.printf "blocking (minterms): %d detecting vectors, %d SAT calls@."
-    (List.length r_min.A.Blocking.cubes) r_min.A.Blocking.sat_calls;
+    (List.length r_min.A.Run.cubes) (A.Blocking.sat_calls r_min);
 
   let lift model =
     A.Lifting.lift_mask circuit ~root:miter
@@ -83,14 +83,17 @@ let () =
   in
   let r_lift = A.Blocking.enumerate ~lift (mk_solver ()) proj in
   Format.printf "blocking + lifting:  %d cubes, %d SAT calls@."
-    (List.length r_lift.A.Blocking.cubes) r_lift.A.Blocking.sat_calls;
+    (List.length r_lift.A.Run.cubes) (A.Blocking.sat_calls r_lift);
 
   let r_sds =
     A.Sds.search ~netlist:circuit ~root:miter ~proj_nets ~solver:(mk_solver ()) ()
   in
+  let sds_graph =
+    match r_sds.A.Run.graph with Some g -> g | None -> assert false
+  in
   Format.printf "sds solution graph:  %d nodes, %g vectors@.@."
-    (A.Solution_graph.size r_sds.A.Sds.graph)
-    (A.Solution_graph.count_models r_sds.A.Sds.graph);
+    (A.Solution_graph.size sds_graph)
+    (A.Solution_graph.count_models sds_graph);
 
   (* Agreement. *)
   let man = A.Solution_graph.new_man ~width:8 in
@@ -100,7 +103,7 @@ let () =
     List.fold_left
       (fun acc c -> A.Solution_graph.union acc (A.Solution_graph.of_cube man c))
       (A.Solution_graph.zero man)
-      (A.Solution_graph.cubes r_sds.A.Sds.graph)
+      r_sds.A.Run.cubes
   in
   Format.printf "engines agree: %b@."
     (A.Solution_graph.equal g1 g2 && A.Solution_graph.equal g1 g3);
@@ -109,7 +112,7 @@ let () =
   let cubes =
     List.sort
       (fun a b -> compare (A.Cube.num_fixed a) (A.Cube.num_fixed b))
-      r_lift.A.Blocking.cubes
+      r_lift.A.Run.cubes
   in
   Format.printf "@.Sample compact tests (x0..x7, '-' = don't care):@.";
   List.iteri

@@ -1,30 +1,36 @@
 module Solver = Ps_sat.Solver
 module Stats = Ps_util.Stats
+module Budget = Ps_util.Budget
+module Trace = Ps_util.Trace
 
-type result = {
-  cubes : Cube.t list;
-  sat_calls : int;
-  complete : bool;
-  stats : Stats.t;
-}
+type result = Run.t
 
-let enumerate ?limit ?lift solver proj =
+let enumerate ?limit ?budget ?(trace = Trace.null) ?lift solver proj =
   let stats = Stats.create () in
+  let width = Project.width proj in
   let cubes = ref [] in
   let n_cubes = ref 0 in
   let sat_calls = ref 0 in
-  let complete = ref true in
+  let stopped = ref `Complete in
   let under_limit () = match limit with None -> true | Some l -> !n_cubes < l in
   let running = ref true in
   while !running do
     if not (under_limit ()) then begin
-      complete := false;
+      stopped := `CubeLimit;
+      running := false
+    end
+    else if (match budget with Some b -> Budget.check b <> None | None -> false)
+    then begin
+      stopped := Run.stopped_of_budget budget ~default:`Cancelled;
       running := false
     end
     else begin
       incr sat_calls;
-      match Solver.solve solver with
+      match Solver.solve ?budget ~trace solver with
       | Solver.Unsat -> running := false
+      | Solver.Unknown ->
+        stopped := Run.stopped_of_budget budget ~default:`Cancelled;
+        running := false
       | Solver.Sat ->
         let model = Solver.model solver in
         let full = Project.cube_of_model proj model in
@@ -41,6 +47,9 @@ let enumerate ?limit ?lift solver proj =
         cubes := cube :: !cubes;
         incr n_cubes;
         Stats.add stats "fixed_literals" (Cube.num_fixed cube);
+        if not (Trace.is_null trace) then
+          Trace.emit trace
+            (Trace.Cube { index = !n_cubes; fixed = Cube.num_fixed cube; width });
         let clause = Project.blocking_clause proj cube in
         if clause = [] then
           (* The whole projected space is one cube: nothing left. *)
@@ -51,12 +60,16 @@ let enumerate ?limit ?lift solver proj =
   Stats.add stats "cubes" !n_cubes;
   Stats.add stats "sat_calls" !sat_calls;
   Stats.merge ~into:stats (Solver.stats solver);
-  { cubes = List.rev !cubes; sat_calls = !sat_calls; complete = !complete; stats }
+  if not (Trace.is_null trace) then
+    Trace.emit trace (Trace.Stopped { reason = Run.stopped_name !stopped });
+  { Run.cubes = List.rev !cubes; graph = None; stats; stopped = !stopped }
 
-let total_minterms r =
-  List.fold_left (fun acc c -> acc +. Cube.minterm_count c) 0.0 r.cubes
+let sat_calls (r : Run.t) = Stats.get r.Run.stats "sat_calls"
 
-let to_graph man r =
+let total_minterms (r : Run.t) =
+  List.fold_left (fun acc c -> acc +. Cube.minterm_count c) 0.0 r.Run.cubes
+
+let to_graph man (r : Run.t) =
   List.fold_left
     (fun acc c -> Solution_graph.union acc (Solution_graph.of_cube man c))
-    (Solution_graph.zero man) r.cubes
+    (Solution_graph.zero man) r.Run.cubes

@@ -10,15 +10,13 @@
     lifting, each blocking clause prunes [2^free] solutions; cubes may
     overlap but their union is exactly the projected solution set. *)
 
-type result = {
-  cubes : Cube.t list;          (** in discovery order *)
-  sat_calls : int;              (** solver invocations (last one UNSAT) *)
-  complete : bool;              (** [false] when [limit] stopped it *)
-  stats : Ps_util.Stats.t;      (** enumeration + solver counters *)
-}
+(** Deprecated alias for {!Run.t}, the unified engine result. *)
+type result = Run.t
+[@@ocaml.deprecated "use Ps_allsat.Run.t"]
 
-(** [enumerate ?limit ?lift solver proj] drains all solutions of the
-    clauses already loaded in [solver], projected onto [proj].
+(** [enumerate ?limit ?budget ?trace ?lift solver proj] drains all
+    solutions of the clauses already loaded in [solver], projected onto
+    [proj], returning the unified {!Run.t}.
 
     [lift model] must return a mask over projection positions — the
     positions to keep fixed (the rest become don't-cares). It must be
@@ -26,22 +24,37 @@ type result = {
     Omitting it yields minterm enumeration.
 
     [limit] bounds the number of cubes (guard against exponential
-    enumerations); the result is then marked incomplete.
+    enumerations); the result is then stopped with [`CubeLimit].
 
-    The solver is left unsatisfiable (all solutions blocked) unless the
-    limit was hit. *)
+    [budget] bounds the whole enumeration: it is polled before every
+    SAT call and shared with the solver, so a deadline or conflict
+    limit interrupts even a single hard call. The result then carries
+    the budget's stop reason and the cubes found so far (an anytime
+    under-approximation).
+
+    [trace] receives a [Cube] event per emitted cube, the solver's
+    events, and a final [Stopped] event.
+
+    The solver is left unsatisfiable (all solutions blocked) iff the
+    run is [`Complete]. *)
 val enumerate :
   ?limit:int ->
+  ?budget:Ps_util.Budget.t ->
+  ?trace:Ps_util.Trace.sink ->
   ?lift:(bool array -> bool array) ->
   Ps_sat.Solver.t ->
   Project.t ->
-  result
+  Run.t
+
+(** [sat_calls r] is the number of solver invocations of the run (the
+    last one UNSAT when complete). *)
+val sat_calls : Run.t -> int
 
 (** [total_minterms r] is the number of projected solutions when the
     cubes are disjoint (minterm enumeration); for lifted (overlapping)
     cubes it is an upper bound. *)
-val total_minterms : result -> float
+val total_minterms : Run.t -> float
 
 (** [to_graph man r] accumulates the cubes into a solution graph (exact
     union, so overlap is resolved). *)
-val to_graph : Solution_graph.man -> result -> Solution_graph.t
+val to_graph : Solution_graph.man -> Run.t -> Solution_graph.t

@@ -1,0 +1,32 @@
+type stopped =
+  [ `Complete
+  | `CubeLimit
+  | `Deadline
+  | `Conflicts
+  | `Decisions
+  | `Propagations
+  | `Cancelled ]
+
+type t = {
+  cubes : Cube.t list;
+  graph : Solution_graph.t option;
+  stats : Ps_util.Stats.t;
+  stopped : stopped;
+}
+
+let complete r = r.stopped = `Complete
+
+let stopped_name : stopped -> string = function
+  | `Complete -> "complete"
+  | `CubeLimit -> "cube_limit"
+  | #Ps_util.Budget.stop as s -> Ps_util.Budget.stop_name s
+
+let pp_stopped ppf s = Format.pp_print_string ppf (stopped_name s)
+
+let stopped_of_budget budget ~default =
+  match budget with
+  | None -> default
+  | Some b ->
+    (match Ps_util.Budget.stopped b with
+    | Some s -> (s :> stopped)
+    | None -> default)

@@ -1,0 +1,43 @@
+(** The unified result of one all-solutions engine run.
+
+    Every enumeration engine — blocking-clause ({!Blocking}), lifted
+    blocking, and success-driven search ({!Sds}) — returns this one
+    record, so callers never pattern-match on which engine produced it:
+
+    - [cubes]: the enumerated solution cubes. For the blocking engines
+      these are in discovery order (possibly overlapping when lifted);
+      for SDS they are the disjoint paths of the solution graph.
+    - [graph]: the hash-consed {!Solution_graph} (SDS engines only).
+    - [stats]: engine + solver counters.
+    - [stopped]: how the run ended. [`Complete] means the solution set
+      is exhausted; anything else marks a {e partial} (anytime) result —
+      the cubes found so far are all sound, just not exhaustive. *)
+
+(** Why the run ended. [`CubeLimit] is the explicit cube cap; the
+    remaining non-[`Complete] reasons come from the
+    {!Ps_util.Budget.stop} of the run's budget. *)
+type stopped =
+  [ `Complete
+  | `CubeLimit
+  | `Deadline
+  | `Conflicts
+  | `Decisions
+  | `Propagations
+  | `Cancelled ]
+
+type t = {
+  cubes : Cube.t list;
+  graph : Solution_graph.t option;
+  stats : Ps_util.Stats.t;
+  stopped : stopped;
+}
+
+(** [complete r] is [r.stopped = `Complete]. *)
+val complete : t -> bool
+
+val stopped_name : stopped -> string
+val pp_stopped : Format.formatter -> stopped -> unit
+
+(** [stopped_of_budget b ~default] is the budget's sticky stop reason,
+    or [default] when the budget (if any) never fired. *)
+val stopped_of_budget : Ps_util.Budget.t option -> default:stopped -> stopped

@@ -4,9 +4,18 @@ module Sim = Ps_circuit.Sim
 module Solver = Ps_sat.Solver
 module Lit = Ps_sat.Lit
 module Stats = Ps_util.Stats
+module Budget = Ps_util.Budget
+module Trace = Ps_util.Trace
 module Sg = Solution_graph
 
 type decision = Static | Dynamic
+
+type variant = Sds | SdsDynamic | SdsNoMemo
+
+let variant_name = function
+  | Sds -> "sds"
+  | SdsDynamic -> "sds-dynamic"
+  | SdsNoMemo -> "sds-nomemo"
 
 type config = {
   use_memo : bool;
@@ -14,17 +23,23 @@ type config = {
   decision : decision;
 }
 
-let default_config = { use_memo = true; use_sat = true; decision = Static }
+let config ?use_memo ?(use_sat = true) variant =
+  let memo_default, decision =
+    match variant with
+    | Sds -> (true, Static)
+    | SdsDynamic -> (true, Dynamic)
+    | SdsNoMemo -> (false, Static)
+  in
+  { use_memo = Option.value use_memo ~default:memo_default; use_sat; decision }
 
-type result = {
-  graph : Sg.t;
-  man : Sg.man;
-  stats : Stats.t;
-}
+let default_config = config Sds
+
+type result = Run.t
 
 let tri_char = function G.F -> '0' | G.T -> '1' | G.X -> 'x'
 
-let search ?(config = default_config) ~netlist ~root ~proj_nets ~solver () =
+let search ?(config = default_config) ?limit ?budget ?(trace = Trace.null)
+    ~netlist ~root ~proj_nets ~solver () =
   let n = Array.length proj_nets in
   let nnets = N.num_nets netlist in
   Array.iter
@@ -89,77 +104,130 @@ let search ?(config = default_config) ~netlist ~root ~proj_nets ~solver () =
   let n_ternary = ref 0 in
   let n_sat_calls = ref 0 in
   let n_unsat_prunes = ref 0 in
+  (* Anytime interruption: once [stop] is set, every pending subtree
+     resolves to the 0-terminal without further work, so the recursion
+     unwinds into a {e valid under-approximation} — the paths completed
+     so far — instead of raising. Truncated nodes are never memoized. *)
+  let stop : Run.stopped option ref = ref None in
+  (* Paths closed so far = committed cubes; drives the uniform [limit]. *)
+  let paths_done = ref 0.0 in
+  let commit node = paths_done := !paths_done +. Sg.count_paths node in
+  let over_limit () =
+    match limit with
+    | None -> false
+    | Some l -> !paths_done >= float_of_int l
+  in
+  let check_stop () =
+    if !stop = None then begin
+      (match budget with
+      | Some b ->
+        (match Budget.check b with
+        | Some s -> stop := Some (s :> Run.stopped)
+        | None -> ())
+      | None -> ());
+      if !stop = None && over_limit () then stop := Some `CubeLimit
+    end;
+    !stop <> None
+  in
   let sat_probe () =
     incr n_sat_calls;
-    Solver.solve ~assumptions:!assumption_stack solver
+    Solver.solve ~assumptions:!assumption_stack ?budget ~trace solver
   in
   let branch net k recurse =
     let pos = pos_of_net.(net) in
     env.(net) <- G.F;
     assumption_stack := Lit.neg net :: !assumption_stack;
     let lo = recurse (k + 1) in
+    commit lo;
     env.(net) <- G.T;
     assumption_stack := Lit.pos net :: List.tl !assumption_stack;
     let hi = recurse (k + 1) in
+    commit hi;
     env.(net) <- G.X;
     assumption_stack := List.tl !assumption_stack;
+    (* The parent's paths are exactly lo's + hi's, both already
+       committed — withdraw them so the ancestors' commits don't double
+       count. *)
+    paths_done := !paths_done -. Sg.count_paths lo -. Sg.count_paths hi;
     Sg.mk man ~level:pos ~lo ~hi
   in
   let rec go k =
-    incr n_search_nodes;
-    Sim.eval3_into netlist ~env ~values;
-    match values.(root) with
-    | G.T ->
-      incr n_ternary;
-      Sg.one man
-    | G.F ->
-      incr n_ternary;
-      Sg.zero man
-    | G.X ->
-      let sig_ = signature () in
-      let branch_net =
-        match config.decision with
-        | Static -> if k = n then -1 else proj_nets.(k)
-        | Dynamic -> !candidate
-      in
-      let key =
-        if config.use_memo then
-          Some ((match config.decision with Static -> k | Dynamic -> -1), sig_)
-        else None
-      in
-      let cached =
-        match key with Some key -> Hashtbl.find_opt memo key | None -> None
-      in
-      (match cached with
-      | Some node ->
-        incr n_memo_hits;
-        node
-      | None ->
-        let node =
-          if branch_net = -1 then begin
-            (* No projected variable can influence the objective anymore:
-               the remaining question is purely over the unprojected
-               inputs — one satisfiability probe decides the subtree. *)
-            match sat_probe () with
-            | Solver.Sat -> Sg.one man
-            | Solver.Unsat ->
-              incr n_unsat_prunes;
-              Sg.zero man
-          end
-          else if
-            config.use_sat
-            && (match sat_probe () with
-               | Solver.Unsat ->
-                 incr n_unsat_prunes;
-                 true
-               | Solver.Sat -> false)
-          then Sg.zero man
-          else branch branch_net k go
+    if check_stop () then Sg.zero man
+    else begin
+      incr n_search_nodes;
+      Sim.eval3_into netlist ~env ~values;
+      match values.(root) with
+      | G.T ->
+        incr n_ternary;
+        Sg.one man
+      | G.F ->
+        incr n_ternary;
+        Sg.zero man
+      | G.X ->
+        let sig_ = signature () in
+        let branch_net =
+          match config.decision with
+          | Static -> if k = n then -1 else proj_nets.(k)
+          | Dynamic -> !candidate
         in
-        (match key with Some key -> Hashtbl.add memo key node | None -> ());
-        node)
+        let key =
+          if config.use_memo then
+            Some ((match config.decision with Static -> k | Dynamic -> -1), sig_)
+          else None
+        in
+        let cached =
+          match key with Some key -> Hashtbl.find_opt memo key | None -> None
+        in
+        (match cached with
+        | Some node ->
+          incr n_memo_hits;
+          if not (Trace.is_null trace) then
+            Trace.emit trace (Trace.Memo_hit { depth = k; hits = !n_memo_hits });
+          node
+        | None ->
+          let node =
+            if branch_net = -1 then begin
+              (* No projected variable can influence the objective anymore:
+                 the remaining question is purely over the unprojected
+                 inputs — one satisfiability probe decides the subtree. *)
+              match sat_probe () with
+              | Solver.Sat -> Sg.one man
+              | Solver.Unsat ->
+                incr n_unsat_prunes;
+                Sg.zero man
+              | Solver.Unknown ->
+                ignore (check_stop ());
+                if !stop = None then
+                  stop := Some (Run.stopped_of_budget budget ~default:`Cancelled);
+                Sg.zero man
+            end
+            else if
+              config.use_sat
+              && (match sat_probe () with
+                 | Solver.Unsat ->
+                   incr n_unsat_prunes;
+                   true
+                 | Solver.Sat -> false
+                 | Solver.Unknown ->
+                   ignore (check_stop ());
+                   if !stop = None then
+                     stop :=
+                       Some (Run.stopped_of_budget budget ~default:`Cancelled);
+                   true)
+            then Sg.zero man
+            else branch branch_net k go
+          in
+          (* A subtree finished under an active stop is truncated:
+             caching it would poison complete reruns of the same
+             signature. *)
+          (match key with
+          | Some key when !stop = None -> Hashtbl.add memo key node
+          | _ -> ());
+          node)
+    end
   in
   let graph = go 0 in
+  let stopped = match !stop with Some s -> s | None -> `Complete in
   Stats.add stats "search_nodes" !n_search_nodes;
   Stats.add stats "memo_hits" !n_memo_hits;
   Stats.add stats "ternary_decides" !n_ternary;
@@ -167,4 +235,6 @@ let search ?(config = default_config) ~netlist ~root ~proj_nets ~solver () =
   Stats.add stats "unsat_prunes" !n_unsat_prunes;
   Stats.add stats "graph_nodes" (Sg.size graph);
   Stats.merge ~into:stats (Solver.stats solver);
-  { graph; man; stats }
+  if not (Trace.is_null trace) then
+    Trace.emit trace (Trace.Stopped { reason = Run.stopped_name stopped });
+  { Run.cubes = Sg.cubes graph; graph = Some graph; stats; stopped }

@@ -18,7 +18,7 @@
       successive probes get cheaper.
 
     The result is the hash-consed {!Solution_graph} of all projected
-    solutions. *)
+    solutions, delivered as the unified {!Run.t}. *)
 
 (** Decision-variable selection. [Static] follows the projection order;
     [Dynamic] branches on the first still-X projected variable of the
@@ -29,26 +29,41 @@
     alone and shares subgraphs across depths. *)
 type decision = Static | Dynamic
 
-type config = {
-  use_memo : bool;
-      (** success-driven learning (signature memoization); off = plain
-          DPLL enumeration, for the ablation experiment *)
+(** The engine variants, mirroring {!Preimage.Engine.method_} so the
+    two enumerations cannot drift:
+    - [Sds] — static decisions, success-driven learning on.
+    - [SdsDynamic] — dynamic (frontier-first) decisions.
+    - [SdsNoMemo] — ablation: learning off, plain DPLL enumeration. *)
+type variant = Sds | SdsDynamic | SdsNoMemo
+
+val variant_name : variant -> string
+
+(** Search configuration. Read-only record — build one with {!config}
+    from a {!variant} (the builder is the only constructor, so the
+    variant enum and the knobs cannot disagree). *)
+type config = private {
+  use_memo : bool;  (** success-driven learning (signature memoization) *)
   use_sat : bool;
       (** CDCL pruning at internal nodes; nodes whose objective no
           longer sees any projected variable always consult the solver *)
   decision : decision;
 }
 
+(** [config variant] is the configuration of that engine variant.
+    [~use_sat:false] additionally disables CDCL pruning at internal
+    nodes, and [~use_memo] overrides the variant's learning default —
+    both exist only for the ablation experiments. *)
+val config : ?use_memo:bool -> ?use_sat:bool -> variant -> config
+
+(** [config Sds]. *)
 val default_config : config
 
-type result = {
-  graph : Solution_graph.t;
-  man : Solution_graph.man;
-  stats : Ps_util.Stats.t;
-      (** ["search_nodes"], ["memo_hits"], ["ternary_decides"],
-          ["sat_calls"], ["unsat_prunes"], ["graph_nodes"] + solver
-          counters *)
-}
+(** Deprecated alias for {!Run.t}, the unified engine result. The
+    graph's stats carry ["search_nodes"], ["memo_hits"],
+    ["ternary_decides"], ["sat_calls"], ["unsat_prunes"],
+    ["graph_nodes"] plus the solver counters. *)
+type result = Run.t
+[@@ocaml.deprecated "use Ps_allsat.Run.t"]
 
 (** [search ~netlist ~root ~proj_nets ~solver ()] enumerates all
     assignments of [proj_nets] (in the given order) that extend to an
@@ -57,12 +72,28 @@ type result = {
     [solver] must already contain the Tseitin encoding of (at least) the
     cone of [root] with net-as-variable mapping ({!Ps_circuit.Tseitin}),
     plus the unit clause asserting [root]. The solver accumulates learnt
-    clauses but no blocking clauses; it remains reusable afterwards. *)
+    clauses but no blocking clauses; it remains reusable afterwards.
+
+    [limit] caps the number of {e committed disjoint cubes} (solution
+    graph paths) — the same semantics as the blocking engines' cube
+    cap; the run then stops with [`CubeLimit]. [budget] bounds the
+    whole search (polled at every search node and inside every CDCL
+    probe). An interrupted search returns a valid
+    {e under-approximation}: the partial solution graph of every
+    subtree completed before the stop — truncated subtrees contribute
+    the 0-terminal and are never memoized, so learning never poisons a
+    later complete run.
+
+    [trace] receives [Memo_hit] events, the solver's events, and a
+    final [Stopped] event. *)
 val search :
   ?config:config ->
+  ?limit:int ->
+  ?budget:Ps_util.Budget.t ->
+  ?trace:Ps_util.Trace.sink ->
   netlist:Ps_circuit.Netlist.t ->
   root:int ->
   proj_nets:int array ->
   solver:Ps_sat.Solver.t ->
   unit ->
-  result
+  Run.t

@@ -14,6 +14,7 @@ and man = {
   mutable one_n : t;
   cache_union : (int * int, t) Hashtbl.t;
   cache_inter : (int * int, t) Hashtbl.t;
+  cache_paths : (int, float) Hashtbl.t;
 }
 
 let terminal_level = max_int
@@ -29,6 +30,7 @@ let new_man ~width =
       one_n = one;
       cache_union = Hashtbl.create 256;
       cache_inter = Hashtbl.create 256;
+      cache_paths = Hashtbl.create 256;
     }
   and zero = { id = 0; level = terminal_level; lo = zero; hi = zero; man }
   and one = { id = 1; level = terminal_level; lo = one; hi = one; man } in
@@ -145,6 +147,25 @@ let count_models f =
     end
   in
   go f *. (2.0 ** float_of_int (level_of f))
+
+let count_paths f =
+  (* Cached in the manager: nodes are immutable and hash-consed, so the
+     count per node never changes. This keeps repeated calls over a
+     growing graph (the SDS cube-limit check) amortized O(new nodes). *)
+  let cache = f.man.cache_paths in
+  let rec go f =
+    if is_zero f then 0.0
+    else if is_one f then 1.0
+    else begin
+      match Hashtbl.find_opt cache f.id with
+      | Some c -> c
+      | None ->
+        let c = go f.lo +. go f.hi in
+        Hashtbl.add cache f.id c;
+        c
+    end
+  in
+  go f
 
 let count_models_paths f =
   (* iter_cubes visits each 1-path once and paths are disjoint *)

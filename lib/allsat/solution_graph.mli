@@ -60,6 +60,11 @@ val count_models : t -> float
     {e free} graphs too (each path tests a variable at most once). *)
 val count_models_paths : t -> float
 
+(** [count_paths f] is the number of 1-paths — the number of disjoint
+    cubes {!iter_cubes} would emit. Cached per node in the manager, so
+    repeated calls during a growing search are amortized O(new nodes). *)
+val count_paths : t -> float
+
 (** [iter_cubes f k] calls [k] per path to the 1-terminal; paths are
     disjoint cubes covering exactly the solution set. *)
 val iter_cubes : t -> (Cube.t -> unit) -> unit

@@ -55,29 +55,26 @@ let test_set ?(method_ = Engine.Sds) circuit fault =
       sat_calls;
     }
   in
-  match method_ with
-  | Engine.Sds | Engine.SdsDynamic | Engine.SdsNoMemo ->
-    let memo = method_ <> Engine.SdsNoMemo in
-    let decision =
-      if method_ = Engine.SdsDynamic then A.Sds.Dynamic else A.Sds.Static
-    in
+  match Engine.sds_variant method_ with
+  | Some variant ->
     let r =
       A.Sds.search
-        ~config:{ A.Sds.use_memo = memo; use_sat = true; decision }
+        ~config:(A.Sds.config variant)
         ~netlist:m ~root:top ~proj_nets ~solver:(solver ()) ()
     in
-    let cubes = Sg.cubes r.A.Sds.graph in
+    let g = match r.A.Run.graph with Some g -> g | None -> assert false in
+    let cubes = r.A.Run.cubes in
     let count =
-      if method_ = Engine.SdsDynamic then Sg.count_models_paths r.A.Sds.graph
-      else Sg.count_models r.A.Sds.graph
+      if method_ = Engine.SdsDynamic then Sg.count_models_paths g
+      else Sg.count_models g
     in
     ( report
         ~vectors:count
         ~cubes
-        ~graph_nodes:(Some (Sg.size r.A.Sds.graph))
-        ~sat_calls:(Ps_util.Stats.get r.A.Sds.stats "sat_calls"),
+        ~graph_nodes:(Some (Sg.size g))
+        ~sat_calls:(Ps_util.Stats.get r.A.Run.stats "sat_calls"),
       cubes )
-  | Engine.Blocking | Engine.BlockingLift ->
+  | None ->
     let lift =
       if method_ = Engine.BlockingLift then
         Some
@@ -88,12 +85,12 @@ let test_set ?(method_ = Engine.Sds) circuit fault =
       else None
     in
     let r = A.Blocking.enumerate ?lift (solver ()) proj in
-    let cubes = r.A.Blocking.cubes in
+    let cubes = r.A.Run.cubes in
     let vectors =
       if method_ = Engine.Blocking then float_of_int (List.length cubes)
       else Engine.solution_count_of_cubes (Array.length proj_nets) cubes
     in
-    (report ~vectors ~cubes ~graph_nodes:None ~sat_calls:r.A.Blocking.sat_calls, cubes)
+    (report ~vectors ~cubes ~graph_nodes:None ~sat_calls:(A.Blocking.sat_calls r), cubes)
 
 let all ?method_ circuit =
   List.map

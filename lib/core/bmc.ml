@@ -58,7 +58,7 @@ let depth0 circuit ~init ~bad =
   ignore (Solver.load s cnf);
   ignore (Solver.add_clause s [ Lit.pos both ]);
   match Solver.solve s with
-  | Solver.Unsat -> None
+  | Solver.Unsat | Solver.Unknown -> None
   | Solver.Sat ->
     let state = Array.map (fun v -> Solver.model_value s v) vars in
     Some { depth = 0; initial = state; inputs = []; final = state }
@@ -78,7 +78,7 @@ let attempt_depth circuit ~init ~bad k =
   ignore (Solver.load s cnf);
   ignore (Solver.add_clause s [ Lit.pos both ]);
   match Solver.solve s with
-  | Solver.Unsat -> None
+  | Solver.Unsat | Solver.Unknown -> None
   | Solver.Sat ->
     let value net = Solver.model_value s net in
     let initial = Array.map value unrolled.U.state0 in

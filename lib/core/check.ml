@@ -14,7 +14,7 @@ let result_bdd ?positions man (r : Engine.result) ~width =
         invalid_arg "Check.result_bdd: positions length mismatch";
       p
   in
-  match r.Engine.graph with
+  match Engine.graph r with
   | Some g -> Sg.to_bdd_unordered man var_of_pos g
   | None ->
     List.fold_left
@@ -23,7 +23,7 @@ let result_bdd ?positions man (r : Engine.result) ~width =
           List.map (fun (pos, v) -> (var_of_pos.(pos), v)) (Cube.to_list c)
         in
         B.bor acc (B.cube man lits))
-      (B.zero man) r.Engine.cubes
+      (B.zero man) (Engine.cubes r)
 
 let preimage_bdd_in man (r : Bdd_engine.result) instance =
   if instance.Instance.include_inputs then

@@ -1,6 +1,9 @@
 module A = Ps_allsat
 module Sg = A.Solution_graph
+module Run = A.Run
 module Stats = Ps_util.Stats
+module Budget = Ps_util.Budget
+module Trace = Ps_util.Trace
 
 type method_ = Sds | SdsDynamic | SdsNoMemo | Blocking | BlockingLift
 
@@ -13,17 +16,26 @@ let method_name = function
 
 let all_methods = [ Sds; SdsDynamic; SdsNoMemo; Blocking; BlockingLift ]
 
+let sds_variant = function
+  | Sds -> Some A.Sds.Sds
+  | SdsDynamic -> Some A.Sds.SdsDynamic
+  | SdsNoMemo -> Some A.Sds.SdsNoMemo
+  | Blocking | BlockingLift -> None
+
 type result = {
   method_ : method_;
-  cubes : A.Cube.t list;
-  graph : Sg.t option;
+  run : Run.t;
   solutions : float;
   n_cubes : int;
   graph_nodes : int option;
   time_s : float;
-  complete : bool;
-  stats : Stats.t;
 }
+
+let cubes r = r.run.Run.cubes
+let graph r = r.run.Run.graph
+let stats r = r.run.Run.stats
+let stopped r = r.run.Run.stopped
+let complete r = Run.complete r.run
 
 let solution_count_of_cubes width cubes =
   let man = Sg.new_man ~width in
@@ -36,45 +48,46 @@ let solution_count_of_cubes width cubes =
 
 let now () = Unix.gettimeofday ()
 
-let run_sds ~method_ instance =
+let run_sds ?limit ?budget ~trace ~method_ instance =
   let solver = Instance.solver instance in
-  let memo = method_ <> SdsNoMemo in
-  let decision = if method_ = SdsDynamic then A.Sds.Dynamic else A.Sds.Static in
+  let variant =
+    match sds_variant method_ with Some v -> v | None -> assert false
+  in
   let t0 = now () in
   let r =
     A.Sds.search
-      ~config:{ A.Sds.use_memo = memo; use_sat = true; decision }
-      ~netlist:instance.Instance.augmented ~root:instance.Instance.root
-      ~proj_nets:instance.Instance.proj_nets ~solver ()
+      ~config:(A.Sds.config variant)
+      ?limit ?budget ~trace ~netlist:instance.Instance.augmented
+      ~root:instance.Instance.root ~proj_nets:instance.Instance.proj_nets
+      ~solver ()
   in
   let time_s = now () -. t0 in
-  let graph = r.A.Sds.graph in
-  let cubes = Sg.cubes graph in
+  let graph = match r.Run.graph with Some g -> g | None -> assert false in
   let solutions =
     (* dynamic decisions build a free graph: count by paths *)
-    match decision with
-    | A.Sds.Static -> Sg.count_models graph
-    | A.Sds.Dynamic -> Sg.count_models_paths graph
+    match variant with
+    | A.Sds.SdsDynamic -> Sg.count_models_paths graph
+    | A.Sds.Sds | A.Sds.SdsNoMemo -> Sg.count_models graph
   in
   {
     method_;
-    cubes;
-    graph = Some graph;
+    run = r;
     solutions;
-    n_cubes = List.length cubes;
+    n_cubes = List.length r.Run.cubes;
     graph_nodes = Some (Sg.size graph);
     time_s;
-    complete = true;
-    stats = r.A.Sds.stats;
   }
 
-let run_blocking ?limit ~lift instance =
+let run_blocking ?limit ?budget ~trace ~lift instance =
   let solver = Instance.solver instance in
   let lift_fn = if lift then Some (Instance.lift instance) else None in
   let t0 = now () in
-  let r = A.Blocking.enumerate ?limit ?lift:lift_fn solver instance.Instance.proj in
+  let r =
+    A.Blocking.enumerate ?limit ?budget ~trace ?lift:lift_fn solver
+      instance.Instance.proj
+  in
   let time_s = now () -. t0 in
-  let cubes = r.A.Blocking.cubes in
+  let cubes = r.Run.cubes in
   let width = A.Project.width instance.Instance.proj in
   let solutions =
     if lift then solution_count_of_cubes width cubes
@@ -82,18 +95,24 @@ let run_blocking ?limit ~lift instance =
   in
   {
     method_ = (if lift then BlockingLift else Blocking);
-    cubes;
-    graph = None;
+    run = r;
     solutions;
     n_cubes = List.length cubes;
     graph_nodes = None;
     time_s;
-    complete = r.A.Blocking.complete;
-    stats = r.A.Blocking.stats;
   }
 
-let run ?limit method_ instance =
-  match method_ with
-  | Sds | SdsDynamic | SdsNoMemo -> run_sds ~method_ instance
-  | Blocking -> run_blocking ?limit ~lift:false instance
-  | BlockingLift -> run_blocking ?limit ~lift:true instance
+let run ?budget ?(trace = Trace.null) ?limit method_ instance =
+  if not (Trace.is_null trace) then
+    Trace.emit trace
+      (Trace.Phase { engine = method_name method_; phase = "start" });
+  let r =
+    match method_ with
+    | Sds | SdsDynamic | SdsNoMemo -> run_sds ?limit ?budget ~trace ~method_ instance
+    | Blocking -> run_blocking ?limit ?budget ~trace ~lift:false instance
+    | BlockingLift -> run_blocking ?limit ?budget ~trace ~lift:true instance
+  in
+  if not (Trace.is_null trace) then
+    Trace.emit trace
+      (Trace.Phase { engine = method_name method_; phase = "done" });
+  r

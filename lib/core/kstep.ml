@@ -8,12 +8,13 @@ module Solver = Ps_sat.Solver
 module Lit = Ps_sat.Lit
 
 type result = {
-  cubes : Cube.t list;
-  graph : Sg.t option;
+  run : A.Run.t;
   solutions : float;
   time_s : float;
-  stats : Ps_util.Stats.t;
 }
+
+let cubes r = r.run.A.Run.cubes
+let stats r = r.run.A.Run.stats
 
 (* Target block over the final-frame state nets, mirroring
    Instance.build_target_block but on a combinational unrolling. *)
@@ -71,26 +72,23 @@ let preimage ?(method_ = Engine.Sds) circuit target ~k =
     ignore (Solver.add_clause s [ Lit.pos root ]);
     s
   in
-  let finish cubes graph solutions stats =
-    { cubes; graph; solutions; time_s = Unix.gettimeofday () -. t0; stats }
+  let finish run solutions =
+    { run; solutions; time_s = Unix.gettimeofday () -. t0 }
   in
-  match method_ with
-  | Engine.Sds | Engine.SdsDynamic | Engine.SdsNoMemo ->
-    let memo = method_ <> Engine.SdsNoMemo in
-    let decision =
-      if method_ = Engine.SdsDynamic then A.Sds.Dynamic else A.Sds.Static
-    in
+  match Engine.sds_variant method_ with
+  | Some variant ->
     let r =
       A.Sds.search
-        ~config:{ A.Sds.use_memo = memo; use_sat = true; decision }
+        ~config:(A.Sds.config variant)
         ~netlist:augmented ~root ~proj_nets ~solver:(solver ()) ()
     in
+    let g = match r.A.Run.graph with Some g -> g | None -> assert false in
     let count =
-      if method_ = Engine.SdsDynamic then Sg.count_models_paths r.A.Sds.graph
-      else Sg.count_models r.A.Sds.graph
+      if method_ = Engine.SdsDynamic then Sg.count_models_paths g
+      else Sg.count_models g
     in
-    finish (Sg.cubes r.A.Sds.graph) (Some r.A.Sds.graph) count r.A.Sds.stats
-  | Engine.Blocking | Engine.BlockingLift ->
+    finish r count
+  | None ->
     let lift =
       if method_ = Engine.BlockingLift then
         Some
@@ -103,16 +101,16 @@ let preimage ?(method_ = Engine.Sds) circuit target ~k =
     let r = A.Blocking.enumerate ?lift (solver ()) proj in
     let solutions =
       if method_ = Engine.Blocking then
-        float_of_int (List.length r.A.Blocking.cubes)
-      else Engine.solution_count_of_cubes (Array.length proj_nets) r.A.Blocking.cubes
+        float_of_int (List.length r.A.Run.cubes)
+      else Engine.solution_count_of_cubes (Array.length proj_nets) r.A.Run.cubes
     in
-    finish r.A.Blocking.cubes None solutions r.A.Blocking.stats
+    finish r solutions
 
 let preimage_bdd man r ~nstate =
   let module Bd = Ps_bdd.Bdd in
-  match r.graph with
+  match r.run.A.Run.graph with
   | Some g -> Sg.to_bdd man (Array.init nstate Fun.id) g
   | None ->
     List.fold_left
       (fun acc c -> Bd.bor acc (Bd.cube man (Cube.to_list c)))
-      (Bd.zero man) r.cubes
+      (Bd.zero man) (cubes r)

@@ -9,12 +9,17 @@
     [Kstep ~k:2] = one-step preimage applied twice). *)
 
 type result = {
-  cubes : Ps_allsat.Cube.t list;   (** over the frame-0 state bits *)
-  graph : Ps_allsat.Solution_graph.t option;  (** SDS engines *)
+  run : Ps_allsat.Run.t;
+      (** the unified engine result; cubes are over the frame-0 state
+          bits, the graph is present for the SDS engines *)
   solutions : float;
   time_s : float;
-  stats : Ps_util.Stats.t;
 }
+
+(** Shorthands into {!Ps_allsat.Run.t}. *)
+val cubes : result -> Ps_allsat.Cube.t list
+
+val stats : result -> Ps_util.Stats.t
 
 (** [preimage ?method_ circuit target ~k] runs the chosen engine
     (default [Sds]) on the unrolled instance. [target] is a DNF cube

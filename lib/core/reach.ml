@@ -136,8 +136,9 @@ let trace r circuit ~from =
             Lit.make tr.T.state_nets.(i) !state.(i))
       in
       (match Solver.solve ~assumptions solver with
-      | Solver.Unsat ->
-        (* cannot happen: the state is in layer d = Pre(layer d-1) ∪ ... *)
+      | Solver.Unsat | Solver.Unknown ->
+        (* cannot happen: the state is in layer d = Pre(layer d-1) ∪ ...,
+           and an unbudgeted solve never returns Unknown *)
         assert false
       | Solver.Sat ->
         let inputs =

@@ -70,7 +70,7 @@ let disagreeing_states p =
   ignore (Solver.add_clause s [ Lit.pos p.diff ]);
   let proj_nets = Array.of_list (N.latches p.netlist) in
   let r = A.Sds.search ~netlist:p.netlist ~root:p.diff ~proj_nets ~solver:s () in
-  A.Solution_graph.cubes r.A.Sds.graph
+  r.A.Run.cubes
 
 let check a c ~init_a ~init_b =
   let p = product a c in

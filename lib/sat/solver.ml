@@ -2,6 +2,8 @@ module Stats = Ps_util.Stats
 module Vec = Ps_util.Vec
 module Iheap = Ps_util.Iheap
 module Luby = Ps_util.Luby
+module Budget = Ps_util.Budget
+module Trace = Ps_util.Trace
 
 type clause = {
   mutable lits : Lit.t array;   (* watched literals at positions 0 and 1 *)
@@ -11,7 +13,7 @@ type clause = {
 
 let dummy_clause = { lits = [||]; act = 0.0; learnt = false }
 
-type result = Sat | Unsat
+type result = Sat | Unsat | Unknown
 
 (* Value encoding: -1 = unassigned, 0 = false, 1 = true. *)
 let v_undef = -1
@@ -45,6 +47,9 @@ type t = {
   mutable n_solve_calls : int;
   mutable n_minimized : int;
   mutable conflict_core : Lit.t list;
+  (* Transient per-[solve] observability hooks (set on entry). *)
+  mutable budget : Budget.t option;
+  mutable trace : Trace.sink;
 }
 
 let var_decay = 1.0 /. 0.95
@@ -82,6 +87,8 @@ let create () =
     n_solve_calls = 0;
     n_minimized = 0;
     conflict_core = [];
+    budget = None;
+    trace = Trace.null;
   }
 
 let nvars t = Vec.size t.assigns
@@ -372,6 +379,7 @@ let locked t c =
   && value_lit t c.lits.(0) = 1
 
 let reduce_db t =
+  let before = Vec.size t.learnts in
   let arr = Vec.to_array t.learnts in
   Array.sort (fun a b -> compare a.act b.act) arr;
   let n = Array.length arr in
@@ -387,7 +395,9 @@ let reduce_db t =
         t.n_deleted <- t.n_deleted + 1
       end
       else Vec.push t.learnts c)
-    arr
+    arr;
+  if not (Trace.is_null t.trace) then
+    Trace.emit t.trace (Trace.Reduce_db { before; after = Vec.size t.learnts })
 
 (* --- adding clauses ---------------------------------------------------- *)
 
@@ -481,22 +491,43 @@ let analyze_final t p =
   end;
   !core
 
-type search_outcome = S_sat | S_unsat | S_restart
+type search_outcome = S_sat | S_unsat | S_restart | S_stopped
 
 let capture_model t =
   t.model_arr <- Array.init (nvars t) (fun v -> value_var t v = 1);
   t.have_model <- true
 
-(* One restart-bounded CDCL episode under [assumptions]. *)
-let search t assumptions budget =
+(* How many decisions between deadline/cancellation polls on
+   conflict-free runs (conflicts poll the budget unconditionally). *)
+let decision_poll_grain = 128
+
+(* One restart-bounded CDCL episode under [assumptions]. [restart_lim]
+   is the Luby conflict cap of this episode; [budget] the caller's
+   overall resource budget. *)
+let search t assumptions restart_lim budget =
   let n_assumps = Array.length assumptions in
   let conflicts = ref 0 in
   let outcome = ref None in
+  let last_props = ref t.n_propagations in
+  let decisions_unpolled = ref 0 in
+  let charge_props () =
+    match budget with
+    | None -> ()
+    | Some b ->
+      Budget.charge_propagations b (t.n_propagations - !last_props);
+      last_props := t.n_propagations
+  in
+  let out_of_budget () =
+    match budget with
+    | None -> false
+    | Some b -> (charge_props (); Budget.check b <> None)
+  in
   while !outcome = None do
     match propagate t with
     | Some confl ->
       incr conflicts;
       t.n_conflicts <- t.n_conflicts + 1;
+      (match budget with Some b -> Budget.tick_conflict b | None -> ());
       if decision_level t = 0 then begin
         t.ok <- false;
         t.conflict_core <- [];
@@ -507,15 +538,32 @@ let search t assumptions budget =
         cancel_until t bt_level;
         record_learnt t lits;
         var_decay_activity t;
-        cla_decay_activity t
+        cla_decay_activity t;
+        if out_of_budget () then begin
+          cancel_until t 0;
+          outcome := Some S_stopped
+        end
       end
     | None ->
-      if !conflicts >= budget then begin
+      if !conflicts >= restart_lim then begin
         cancel_until t 0;
         t.n_restarts <- t.n_restarts + 1;
+        if not (Trace.is_null t.trace) then
+          Trace.emit t.trace
+            (Trace.Restart
+               { conflicts = t.n_conflicts; learnts = Vec.size t.learnts });
         outcome := Some S_restart
       end
+      else if
+        !decisions_unpolled >= decision_poll_grain && out_of_budget ()
+      then begin
+        decisions_unpolled := 0;
+        cancel_until t 0;
+        outcome := Some S_stopped
+      end
       else begin
+        if !decisions_unpolled >= decision_poll_grain then
+          decisions_unpolled := 0;
         if float_of_int (Vec.size t.learnts - Vec.size t.trail) >= t.max_learnts
         then reduce_db t;
         if decision_level t < n_assumps then begin
@@ -537,31 +585,54 @@ let search t assumptions budget =
             outcome := Some S_sat
           | Some v ->
             t.n_decisions <- t.n_decisions + 1;
+            incr decisions_unpolled;
+            (match budget with Some b -> Budget.charge_decisions b 1 | None -> ());
             new_decision_level t;
             ignore (enqueue t (Lit.make v (Vec.get t.phase v)) dummy_clause)
         end
       end
   done;
+  charge_props ();
   match !outcome with Some o -> o | None -> assert false
 
-let solve ?(assumptions = []) t =
+let solve ?(assumptions = []) ?budget ?(trace = Trace.null) t =
   t.n_solve_calls <- t.n_solve_calls + 1;
   t.have_model <- false;
   t.conflict_core <- [];
-  if not t.ok then Unsat
+  t.budget <- budget;
+  t.trace <- trace;
+  let finish r =
+    t.budget <- None;
+    t.trace <- Trace.null;
+    if not (Trace.is_null trace) then
+      Trace.emit trace
+        (Trace.Solve
+           {
+             result =
+               (match r with Sat -> "sat" | Unsat -> "unsat" | Unknown -> "unknown");
+             conflicts = t.n_conflicts;
+           });
+    r
+  in
+  if not t.ok then finish Unsat
+  else if (match budget with Some b -> Budget.check b <> None | None -> false)
+  then finish Unknown
   else begin
     let assumptions = Array.of_list assumptions in
     Array.iter (fun l -> ensure_vars t (Lit.var l + 1)) assumptions;
     t.max_learnts <-
       max t.max_learnts (float_of_int (Vec.size t.clauses) /. 3.0);
     let rec loop attempt =
-      match search t assumptions (restart_base * Luby.luby attempt) with
+      match search t assumptions (restart_base * Luby.luby attempt) budget with
       | S_sat ->
         cancel_until t 0;
-        Sat
+        finish Sat
       | S_unsat ->
         cancel_until t 0;
-        Unsat
+        finish Unsat
+      | S_stopped ->
+        cancel_until t 0;
+        finish Unknown
       | S_restart ->
         t.max_learnts <- t.max_learnts *. 1.1;
         loop (attempt + 1)

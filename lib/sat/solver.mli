@@ -14,7 +14,12 @@
 
 type t
 
-type result = Sat | Unsat
+(** [Unknown] is only returned by budgeted [solve] calls: the resource
+    budget ran out (deadline, conflict/decision/propagation limit, or
+    cancellation) before the question was decided. The solver is left
+    at decision level 0 with all learnt clauses intact, so a later call
+    — with a fresh budget — resumes from the accumulated knowledge. *)
+type result = Sat | Unsat | Unknown
 
 val create : unit -> t
 
@@ -37,9 +42,27 @@ val add_clause : t -> Lit.t list -> bool
 (** [load t cnf] allocates [cnf]'s variables and adds all its clauses. *)
 val load : t -> Cnf.t -> bool
 
-(** [solve ?assumptions t] decides satisfiability of the clause set under
-    the given assumption literals. Learnt clauses persist across calls. *)
-val solve : ?assumptions:Lit.t list -> t -> result
+(** [solve ?assumptions ?budget ?trace t] decides satisfiability of the
+    clause set under the given assumption literals. Learnt clauses
+    persist across calls.
+
+    [budget] makes the call interruptible: conflicts, decisions and
+    propagations are charged against it as they happen and the deadline
+    / cancellation flag is polled at every conflict and every batch of
+    decisions; on exhaustion the call returns [Unknown] (see {!result}).
+    Without a budget, [solve] never returns [Unknown]. The same budget
+    may be shared by many [solve] calls — charges accumulate — which is
+    how the all-solutions engines bound a whole enumeration.
+
+    [trace] receives {!Ps_util.Trace} events: a [Restart] per restart, a
+    [Reduce_db] per learnt-DB reduction, and a [Solve] when the call
+    finishes. *)
+val solve :
+  ?assumptions:Lit.t list ->
+  ?budget:Ps_util.Budget.t ->
+  ?trace:Ps_util.Trace.sink ->
+  t ->
+  result
 
 (** [model_value t v] is the value of [v] in the satisfying assignment
     found by the last [solve] call that returned [Sat].

@@ -1,0 +1,105 @@
+type stop = [ `Deadline | `Conflicts | `Decisions | `Propagations | `Cancelled ]
+
+type t = {
+  deadline : float option;           (* absolute gettimeofday instant *)
+  max_conflicts : int option;
+  max_decisions : int option;
+  max_propagations : int option;
+  cancel : (unit -> bool) option;
+  limited : bool;
+  mutable conflicts : int;
+  mutable decisions : int;
+  mutable propagations : int;
+  mutable polls : int;
+  mutable stop : stop option;
+}
+
+(* Deadline / cancellation are polled once per [poll_grain] checks; the
+   discrete limits are exact. *)
+let poll_grain = 16
+
+let make ?timeout_s ?conflicts ?decisions ?propagations ?cancel () =
+  let deadline =
+    match timeout_s with
+    | None -> None
+    | Some s ->
+      if s < 0.0 then invalid_arg "Budget.make: negative timeout";
+      Some (Unix.gettimeofday () +. s)
+  in
+  let limited =
+    deadline <> None || conflicts <> None || decisions <> None
+    || propagations <> None || cancel <> None
+  in
+  {
+    deadline;
+    max_conflicts = conflicts;
+    max_decisions = decisions;
+    max_propagations = propagations;
+    cancel;
+    limited;
+    conflicts = 0;
+    decisions = 0;
+    propagations = 0;
+    polls = 0;
+    stop = None;
+  }
+
+let unlimited () = make ()
+
+let is_limited t = t.limited
+
+let tick_conflict t = t.conflicts <- t.conflicts + 1
+let charge_decisions t n = t.decisions <- t.decisions + n
+let charge_propagations t n = t.propagations <- t.propagations + n
+
+let over limit spent = match limit with Some l -> spent >= l | None -> false
+
+let check t =
+  match t.stop with
+  | Some _ as s -> s
+  | None ->
+    if not t.limited then None
+    else begin
+      (* Discrete resources first: their exhaustion point is
+         deterministic, so a conflict-budgeted rerun stops identically
+         even if the clock would also have fired. *)
+      let s =
+        if over t.max_conflicts t.conflicts then Some `Conflicts
+        else if over t.max_decisions t.decisions then Some `Decisions
+        else if over t.max_propagations t.propagations then Some `Propagations
+        else begin
+          t.polls <- t.polls + 1;
+          if t.polls land (poll_grain - 1) <> 0 then None
+          else if
+            match t.deadline with
+            | Some d -> Unix.gettimeofday () >= d
+            | None -> false
+          then Some `Deadline
+          else if match t.cancel with Some f -> f () | None -> false then
+            Some `Cancelled
+          else None
+        end
+      in
+      (match s with Some _ -> t.stop <- s | None -> ());
+      s
+    end
+
+let stopped t = t.stop
+
+let conflicts_spent t = t.conflicts
+let decisions_spent t = t.decisions
+let propagations_spent t = t.propagations
+
+let time_left t =
+  match t.deadline with
+  | None -> infinity
+  | Some d -> Float.max 0.0 (d -. Unix.gettimeofday ())
+
+let stop_name : stop -> string = function
+  | `Deadline -> "deadline"
+  | `Conflicts -> "conflicts"
+  | `Decisions -> "decisions"
+  | `Propagations -> "propagations"
+  | `Cancelled -> "cancelled"
+
+let pp_stop ppf s = Format.pp_print_string ppf (stop_name s)

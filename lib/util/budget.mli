@@ -1,0 +1,78 @@
+(** Resource budgets for interruptible solving.
+
+    A budget is a mutable accounting object shared by every layer of one
+    solving run: the CDCL solver charges conflicts, decisions and
+    propagations against it, the enumeration engines poll it between
+    cubes and search nodes, and whoever created it can flip the
+    cancellation flag from the outside. When any resource is exhausted,
+    every layer observes the same sticky {!stop} reason and unwinds with
+    a partial result instead of raising.
+
+    Accounting is deterministic for the discrete resources: two runs of
+    the same deterministic search with the same conflict budget stop at
+    exactly the same point. Only the wall-clock deadline depends on the
+    machine.
+
+    A budget is single-use: create one per run ({!make} / {!unlimited}),
+    thread it through, then read {!stopped}. *)
+
+(** Why a budgeted run stopped early. *)
+type stop = [ `Deadline | `Conflicts | `Decisions | `Propagations | `Cancelled ]
+
+type t
+
+(** [make ()] builds a budget. All limits are optional and combine;
+    whichever is exhausted first wins.
+
+    - [timeout_s]: wall-clock seconds from now ({!check} polls the
+      clock, throttled, so overshoot is bounded by the polling grain of
+      the caller — the solver polls at every conflict, restart and
+      batch of decisions).
+    - [conflicts] / [decisions] / [propagations]: total counts charged
+      via the [tick_*]/[charge_*] functions, across {e all} solver
+      calls sharing this budget.
+    - [cancel]: polled on every {!check}; return [true] to stop the run
+      cooperatively (e.g. wired to a signal handler's flag). *)
+val make :
+  ?timeout_s:float ->
+  ?conflicts:int ->
+  ?decisions:int ->
+  ?propagations:int ->
+  ?cancel:(unit -> bool) ->
+  unit ->
+  t
+
+(** A fresh budget with no limits (checks always pass). *)
+val unlimited : unit -> t
+
+(** [is_limited t] is [true] iff any limit or cancel hook is set —
+    lets hot loops skip the bookkeeping entirely. *)
+val is_limited : t -> bool
+
+(** Charge consumed resources. Cheap (one integer add). *)
+val tick_conflict : t -> unit
+
+val charge_decisions : t -> int -> unit
+val charge_propagations : t -> int -> unit
+
+(** [check t] — has the budget run out? The first exhausted resource is
+    recorded and returned on every subsequent call (sticky), so all
+    layers agree on the stop reason. Deadline and cancellation are
+    polled at most once per [poll_grain] calls (currently 16) to keep
+    [check] cheap inside tight loops. *)
+val check : t -> stop option
+
+(** The sticky stop reason, without polling anything. *)
+val stopped : t -> stop option
+
+(** Resources consumed so far (for stats / traces). *)
+val conflicts_spent : t -> int
+
+val decisions_spent : t -> int
+val propagations_spent : t -> int
+
+(** Seconds left until the deadline ([infinity] when none). *)
+val time_left : t -> float
+
+val stop_name : stop -> string
+val pp_stop : Format.formatter -> stop -> unit

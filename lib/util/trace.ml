@@ -1,0 +1,105 @@
+type event =
+  | Restart of { conflicts : int; learnts : int }
+  | Reduce_db of { before : int; after : int }
+  | Solve of { result : string; conflicts : int }
+  | Cube of { index : int; fixed : int; width : int }
+  | Memo_hit of { depth : int; hits : int }
+  | Phase of { engine : string; phase : string }
+  | Progress of { cubes : int; nodes : int; conflicts : int }
+  | Stopped of { reason : string }
+
+let event_name = function
+  | Restart _ -> "restart"
+  | Reduce_db _ -> "reduce_db"
+  | Solve _ -> "solve"
+  | Cube _ -> "cube"
+  | Memo_hit _ -> "memo_hit"
+  | Phase _ -> "phase"
+  | Progress _ -> "progress"
+  | Stopped _ -> "stopped"
+
+(* The only strings we embed are engine/phase/result names and stop
+   reasons — all identifier-like — but escape defensively anyway. *)
+let json_string s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let to_json ~time_s ev =
+  let fields =
+    match ev with
+    | Restart { conflicts; learnts } ->
+      Printf.sprintf {|"conflicts":%d,"learnts":%d|} conflicts learnts
+    | Reduce_db { before; after } ->
+      Printf.sprintf {|"before":%d,"after":%d|} before after
+    | Solve { result; conflicts } ->
+      Printf.sprintf {|"result":%s,"conflicts":%d|} (json_string result) conflicts
+    | Cube { index; fixed; width } ->
+      Printf.sprintf {|"index":%d,"fixed":%d,"width":%d|} index fixed width
+    | Memo_hit { depth; hits } ->
+      Printf.sprintf {|"depth":%d,"hits":%d|} depth hits
+    | Phase { engine; phase } ->
+      Printf.sprintf {|"engine":%s,"phase":%s|} (json_string engine)
+        (json_string phase)
+    | Progress { cubes; nodes; conflicts } ->
+      Printf.sprintf {|"cubes":%d,"nodes":%d,"conflicts":%d|} cubes nodes
+        conflicts
+    | Stopped { reason } -> Printf.sprintf {|"reason":%s|} (json_string reason)
+  in
+  Printf.sprintf {|{"t":%.6f,"ev":%s,%s}|} time_s
+    (json_string (event_name ev))
+    fields
+
+type sink =
+  | Null
+  | Sink of { t0 : float; f : time_s:float -> event -> unit }
+
+let null = Null
+
+let is_null = function Null -> true | Sink _ -> false
+
+let callback f = Sink { t0 = Unix.gettimeofday (); f }
+
+let jsonl oc =
+  callback (fun ~time_s ev ->
+      output_string oc (to_json ~time_s ev);
+      output_char oc '\n';
+      match ev with Stopped _ -> flush oc | _ -> ())
+
+let jsonl_file path =
+  let oc = open_out path in
+  (jsonl oc, fun () -> close_out oc)
+
+let throttled ?(interval_s = 0.1) f =
+  let last = ref neg_infinity in
+  callback (fun ~time_s ev ->
+      match ev with
+      | Stopped _ | Phase _ ->
+        last := time_s;
+        f ~time_s ev
+      | _ ->
+        if time_s -. !last >= interval_s then begin
+          last := time_s;
+          f ~time_s ev
+        end)
+
+let emit sink ev =
+  match sink with
+  | Null -> ()
+  | Sink { t0; f } -> f ~time_s:(Unix.gettimeofday () -. t0) ev
+
+let tee a b =
+  match (a, b) with
+  | Null, s | s, Null -> s
+  | Sink _, Sink _ -> callback (fun ~time_s:_ ev -> emit a ev; emit b ev)

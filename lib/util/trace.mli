@@ -1,0 +1,68 @@
+(** Structured trace events for the solving layers.
+
+    Every solving layer emits typed {!event}s into a {!sink}: the CDCL
+    solver reports restarts and learnt-DB reductions, the enumeration
+    engines report emitted cubes, memo hits and phase changes, and every
+    budgeted run reports how it stopped. Sinks are pluggable — the
+    {!null} sink makes emission free, {!jsonl} streams machine-readable
+    logs (one JSON object per line, schema in docs/OBSERVABILITY.md),
+    and {!throttled} drives progress callbacks without flooding them.
+
+    Events are timestamped with seconds elapsed since the sink was
+    created, so one sink shared across engines yields one coherent
+    timeline. *)
+
+type event =
+  | Restart of { conflicts : int; learnts : int }
+      (** solver restart; cumulative conflicts, live learnt clauses *)
+  | Reduce_db of { before : int; after : int }
+      (** learnt-DB reduction: live learnt clauses before/after *)
+  | Solve of { result : string; conflicts : int }
+      (** one CDCL [solve] call finished ("sat"/"unsat"/"unknown") *)
+  | Cube of { index : int; fixed : int; width : int }
+      (** enumeration emitted its [index]-th cube ([fixed] fixed
+          literals out of [width] projection positions) *)
+  | Memo_hit of { depth : int; hits : int }
+      (** SDS success-driven learning reused a subgraph *)
+  | Phase of { engine : string; phase : string }
+      (** engine phase marker, e.g. ["sds"]/["start"] *)
+  | Progress of { cubes : int; nodes : int; conflicts : int }
+      (** periodic heartbeat from the enumeration engines *)
+  | Stopped of { reason : string }
+      (** why the run ended (a {!Budget.stop} name or ["complete"]) *)
+
+val event_name : event -> string
+
+(** [to_json ~time_s ev] is the JSONL line body (no trailing newline):
+    [{"t":<time_s>,"ev":"<name>",...fields}]. *)
+val to_json : time_s:float -> event -> string
+
+type sink
+
+(** Drops everything; [emit null ev] is a no-op. *)
+val null : sink
+
+val is_null : sink -> bool
+
+(** [callback f] calls [f ~time_s event] on every emission. *)
+val callback : (time_s:float -> event -> unit) -> sink
+
+(** [jsonl oc] writes one JSON line per event to [oc]. The channel is
+    flushed on every {!Stopped} event (and left open — the caller owns
+    it). *)
+val jsonl : out_channel -> sink
+
+(** [jsonl_file path] opens [path] for writing and returns the sink
+    plus a closer. *)
+val jsonl_file : string -> sink * (unit -> unit)
+
+(** [throttled ~interval_s f] forwards at most one event per
+    [interval_s] seconds to [f] — except {!Stopped} and {!Phase}
+    events, which always pass (they are rare and structural). Default
+    interval: 0.1 s. *)
+val throttled : ?interval_s:float -> (time_s:float -> event -> unit) -> sink
+
+(** [tee a b] duplicates every event to both sinks. *)
+val tee : sink -> sink -> sink
+
+val emit : sink -> event -> unit

@@ -288,9 +288,9 @@ let blocking_complete_and_disjoint =
       let rng = R.create ~seed in
       let _, _, _, proj, mk_solver, expected = setup_engines rng in
       let r = A.Blocking.enumerate (mk_solver ()) proj in
-      let cubes = r.A.Blocking.cubes in
+      let cubes = r.A.Run.cubes in
       List.length cubes = Hashtbl.length expected
-      && r.A.Blocking.complete
+      && A.Run.complete r
       && List.for_all (fun c -> Cube.num_free c = 0) cubes
       && List.for_all
            (fun c ->
@@ -311,12 +311,12 @@ let lifted_blocking_covers_exactly =
       let w = Array.length proj_nets in
       let ok = ref true in
       Helpers.iter_assignments w (fun bits ->
-          let covered = List.exists (fun c -> Cube.contains c bits) r.A.Blocking.cubes in
+          let covered = List.exists (fun c -> Cube.contains c bits) r.A.Run.cubes in
           let solution = Hashtbl.mem expected (Array.to_list (Array.sub bits 0 w)) in
           if covered <> solution then ok := false);
       !ok
       (* never more SAT calls than the minterm engine needs *)
-      && r.A.Blocking.sat_calls <= Hashtbl.length expected + 1)
+      && A.Blocking.sat_calls r <= Hashtbl.length expected + 1)
 
 let sds_matches_reference =
   Helpers.qtest "sds graph = reference solution set (memo on and off)" ~count:80
@@ -330,16 +330,16 @@ let sds_matches_reference =
         Helpers.iter_assignments (Array.length proj_nets) (fun bits ->
             let bits = Array.sub bits 0 (Array.length proj_nets) in
             if
-              Sg.mem r.A.Sds.graph bits
+              Sg.mem (Option.get r.A.Run.graph) bits
               <> Hashtbl.mem expected (Array.to_list bits)
             then ok := false);
         !ok
       in
-      check_config { A.Sds.use_memo = true; use_sat = true; decision = A.Sds.Static }
-      && check_config { A.Sds.use_memo = false; use_sat = true; decision = A.Sds.Static }
-      && check_config { A.Sds.use_memo = true; use_sat = false; decision = A.Sds.Static }
-      && check_config { A.Sds.use_memo = true; use_sat = true; decision = A.Sds.Dynamic }
-      && check_config { A.Sds.use_memo = false; use_sat = true; decision = A.Sds.Dynamic })
+      check_config (A.Sds.config A.Sds.Sds)
+      && check_config (A.Sds.config A.Sds.SdsNoMemo)
+      && check_config (A.Sds.config ~use_sat:false A.Sds.Sds)
+      && check_config (A.Sds.config A.Sds.SdsDynamic)
+      && check_config (A.Sds.config ~use_memo:false A.Sds.SdsDynamic))
 
 let dynamic_free_graph_invariants =
   Helpers.qtest "dynamic search builds a well-formed free graph" ~count:60
@@ -349,10 +349,10 @@ let dynamic_free_graph_invariants =
       let n, root, proj_nets, _, mk_solver, expected = setup_engines rng in
       let r =
         A.Sds.search
-          ~config:{ A.Sds.use_memo = true; use_sat = true; decision = A.Sds.Dynamic }
+          ~config:(A.Sds.config A.Sds.SdsDynamic)
           ~netlist:n ~root ~proj_nets ~solver:(mk_solver ()) ()
       in
-      let g = r.A.Sds.graph in
+      let g = (Option.get r.A.Run.graph) in
       let w = Array.length proj_nets in
       (* 1. paths are disjoint cubes covering the exact solution set *)
       let cubes = Sg.cubes g in
@@ -404,8 +404,9 @@ let test_blocking_limit () =
   ignore (Solver.load s cnf);
   ignore (Solver.add_clause s [ Lit.pos g ]);
   let r = A.Blocking.enumerate ~limit:5 s proj in
-  check_int "limit respected" 5 (List.length r.A.Blocking.cubes);
-  check_bool "incomplete" false r.A.Blocking.complete
+  check_int "limit respected" 5 (List.length r.A.Run.cubes);
+  check_bool "incomplete" false (A.Run.complete r);
+  check_bool "stopped on cube limit" true (r.A.Run.stopped = `CubeLimit)
 
 let test_sds_success_learning_effective () =
   (* A disjunction of two identical subfunctions over disjoint variable
@@ -433,16 +434,16 @@ let test_sds_success_learning_effective () =
   in
   let without =
     A.Sds.search
-      ~config:{ A.Sds.use_memo = false; use_sat = true; decision = A.Sds.Static }
+      ~config:(A.Sds.config A.Sds.SdsNoMemo)
       ~netlist:n ~root:gate ~proj_nets ~solver:(mk_solver ()) ()
   in
   let nodes st = Ps_util.Stats.get st "search_nodes" in
   check_bool "memo hits occurred" true
-    (Ps_util.Stats.get with_memo.A.Sds.stats "memo_hits" > 0);
+    (Ps_util.Stats.get (with_memo.A.Run.stats) "memo_hits" > 0);
   check_bool "memo shrinks the search" true
-    (nodes with_memo.A.Sds.stats < nodes without.A.Sds.stats);
+    (nodes (with_memo.A.Run.stats) < nodes (without.A.Run.stats));
   check_bool "same solution set" true
-    (Sg.count_models with_memo.A.Sds.graph = Sg.count_models without.A.Sds.graph)
+    (Sg.count_models (Option.get with_memo.A.Run.graph) = Sg.count_models (Option.get without.A.Run.graph))
 
 let test_sds_graph_is_reduced () =
   (* graph node count never exceeds cube count * width and matches BDD *)
@@ -457,8 +458,8 @@ let test_sds_graph_is_reduced () =
   let proj_nets = Array.of_list (N.latches n) in
   let r = A.Sds.search ~netlist:n ~root:out ~proj_nets ~solver:s () in
   (* output is AND of all 6 state bits: one path *)
-  Alcotest.(check (float 0.0)) "single solution" 1.0 (Sg.count_models r.A.Sds.graph);
-  check_int "chain graph" 8 (Sg.size r.A.Sds.graph)
+  Alcotest.(check (float 0.0)) "single solution" 1.0 (Sg.count_models (Option.get r.A.Run.graph));
+  check_int "chain graph" 8 (Sg.size (Option.get r.A.Run.graph))
 
 let () =
   Alcotest.run "ps_allsat"

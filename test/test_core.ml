@@ -139,10 +139,15 @@ let test_engine_limit () =
   let inst = I.make c (T.upper_half ~bits:6) in
   let r = E.run ~limit:3 E.Blocking inst in
   check_int "limited cubes" 3 r.E.n_cubes;
-  check_bool "incomplete" false r.E.complete;
-  (* SDS ignores the limit and completes *)
+  check_bool "incomplete" false (E.complete r);
+  check_bool "stop reason" true (E.stopped r = `CubeLimit);
+  (* the cube cap now applies uniformly, SDS included *)
+  let full = E.run E.Sds inst in
+  check_bool "premise: more than 3 disjoint cubes" true (full.E.n_cubes > 3);
   let r2 = E.run ~limit:3 E.Sds inst in
-  check_bool "sds complete" true r2.E.complete
+  check_bool "sds stopped on the cap" true (E.stopped r2 = `CubeLimit);
+  check_bool "sds partial" false (E.complete r2);
+  check_bool "sds partial cubes non-empty" true (E.cubes r2 <> [])
 
 let test_solution_count_of_cubes () =
   (* overlapping cubes: 1-- and -1- over width 3: |union| = 4+4-2 = 6 *)
@@ -155,12 +160,12 @@ let test_sds_stats_shape () =
   let c = Ps_gen.Counters.binary ~bits:5 () in
   let inst = I.make c (T.upper_half ~bits:5) in
   let r = E.run E.Sds inst in
-  let get k = Ps_util.Stats.get r.E.stats k in
+  let get k = Ps_util.Stats.get (E.stats r) k in
   check_bool "search nodes" true (get "search_nodes" > 0);
   check_bool "graph nodes recorded" true (get "graph_nodes" > 0);
-  check_bool "graph present" true (r.E.graph <> None);
+  check_bool "graph present" true (E.graph r <> None);
   check_bool "graph nodes consistent" true
-    (match (r.E.graph, r.E.graph_nodes) with
+    (match (E.graph r, r.E.graph_nodes) with
     | Some g, Some n -> Sg.size g = n
     | _ -> false)
 
@@ -216,8 +221,9 @@ let test_check_detects_corruption () =
   let good = E.run E.Blocking inst in
   (* corrupt the result by dropping a cube *)
   let bad =
-    match good.E.cubes with
-    | _ :: rest -> { good with E.cubes = rest }
+    match E.cubes good with
+    | _ :: rest ->
+      { good with E.run = { good.E.run with Ps_allsat.Run.cubes = rest } }
     | [] -> Alcotest.fail "expected non-empty preimage"
   in
   (match Ch.engines_agree inst [ good; bad ] with

@@ -156,8 +156,8 @@ let kstep_equals_iterated =
       (* chained: cubes of Pre(T) as the next target *)
       let r1 = E.run E.Sds (I.make c target) in
       let chained =
-        if r1.E.cubes = [] then []
-        else (E.run E.Sds (I.make c r1.E.cubes)).E.cubes
+        if E.cubes r1 = [] then []
+        else E.cubes (E.run E.Sds (I.make c (E.cubes r1)))
       in
       let k2 = K.preimage c target ~k:2 in
       let man = B.new_man ~nvars:(max nstate 1) in
@@ -235,7 +235,7 @@ let cnf_lift_enumeration_exact =
         Helpers.iter_assignments w (fun bits ->
             let bits = Array.sub bits 0 w in
             let covered =
-              List.exists (fun cb -> Cube.contains cb bits) r.A.Blocking.cubes
+              List.exists (fun cb -> Cube.contains cb bits) r.A.Run.cubes
             in
             if covered <> Hashtbl.mem expected (Array.to_list bits) then ok := false);
         !ok

@@ -409,6 +409,7 @@ let unsat_core_sound =
         in
         match Solver.solve ~assumptions s with
         | Solver.Sat -> true
+        | Solver.Unknown -> false
         | Solver.Unsat ->
           let core = Solver.unsat_core s in
           List.for_all (fun l -> List.mem l assumptions) core

@@ -12,7 +12,8 @@ let check_int = Alcotest.(check int)
 
 let sat = Alcotest.testable (fun ppf -> function
   | Solver.Sat -> Format.pp_print_string ppf "SAT"
-  | Solver.Unsat -> Format.pp_print_string ppf "UNSAT")
+  | Solver.Unsat -> Format.pp_print_string ppf "UNSAT"
+  | Solver.Unknown -> Format.pp_print_string ppf "UNKNOWN")
   ( = )
 
 (* --- Lit ---------------------------------------------------------------- *)
@@ -262,7 +263,7 @@ let solver_incremental_enumeration =
       let continue = ref true in
       while !continue do
         match Solver.solve s with
-        | Solver.Unsat -> continue := false
+        | Solver.Unsat | Solver.Unknown -> continue := false
         | Solver.Sat ->
           incr count;
           let block =

@@ -53,7 +53,7 @@ let test_learnts_bounded_under_enumeration () =
   while !continue && !rounds < 3000 do
     incr rounds;
     match Solver.solve s with
-    | Solver.Unsat -> continue := false
+    | Solver.Unsat | Solver.Unknown -> continue := false
     | Solver.Sat ->
       let block =
         List.init nvars (fun v -> Lit.make v (not (Solver.model_value s v)))
