@@ -535,6 +535,112 @@ let fig7 () =
     [ "circuit"; "order"; "search_nodes"; "memo_hits"; "graph"; "ms" ]
     rows
 
+(* --- smoke profile + JSON summary ----------------------------------------- *)
+
+(* [--json FILE] writes a machine-readable summary of the smoke profile:
+   one row per (workload, engine) with wall time, conflicts, propagations
+   and derived propagations/sec, so CI can track the solver's hot-path
+   throughput across commits. *)
+let json_file = ref None
+
+type smoke_row = {
+  sm_workload : string;
+  sm_engine : string;
+  sm_time_s : float;
+  sm_solutions : float;
+  sm_cubes : int;
+  sm_conflicts : int;
+  sm_propagations : int;
+}
+
+let smoke_rows : smoke_row list ref = ref []
+
+let record_smoke ~workload ~engine ~time_s ~solutions ~cubes stats =
+  smoke_rows :=
+    {
+      sm_workload = workload;
+      sm_engine = engine;
+      sm_time_s = time_s;
+      sm_solutions = solutions;
+      sm_cubes = cubes;
+      sm_conflicts = Stats.get stats "conflicts";
+      sm_propagations = Stats.get stats "propagations";
+    }
+    :: !smoke_rows
+
+let write_json_summary path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let row r =
+        let pps =
+          if r.sm_time_s > 0.0 then float_of_int r.sm_propagations /. r.sm_time_s
+          else 0.0
+        in
+        Printf.sprintf
+          {|    {"workload":"%s","engine":"%s","time_s":%.6f,"solutions":%g,"cubes":%d,"conflicts":%d,"propagations":%d,"props_per_sec":%.0f}|}
+          r.sm_workload r.sm_engine r.sm_time_s r.sm_solutions r.sm_cubes
+          r.sm_conflicts r.sm_propagations pps
+      in
+      output_string oc "{\n  \"schema\": \"preimage-bench-smoke/1\",\n  \"rows\": [\n";
+      output_string oc
+        (String.concat ",\n" (List.rev_map row !smoke_rows));
+      output_string oc "\n  ]\n}\n")
+
+let smoke () =
+  (* Circuit workload: every engine on one mid-size instance. *)
+  let bits = 10 in
+  let c = Ps_gen.Counters.binary ~bits () in
+  let inst = I.make c (T.upper_half ~bits) in
+  let workload = Printf.sprintf "count%d-upper" bits in
+  List.iter
+    (fun m ->
+      let r = run_capped m inst in
+      record_smoke ~workload ~engine:(E.method_name m) ~time_s:r.E.time_s
+        ~solutions:r.E.solutions ~cubes:r.E.n_cubes (E.stats r))
+    E.all_methods;
+  (* DIMACS workload: the Tseitin CNF round-tripped through the DIMACS
+     text format, enumerated with the plain blocking engine. This is the
+     propagation-throughput probe: no lifting, no graph — nearly all the
+     time is the CDCL inner loop. *)
+  let bits = 12 in
+  let c = Ps_gen.Counters.binary ~bits () in
+  let inst = I.make c (T.upper_half ~bits) in
+  let cnf = Ps_sat.Dimacs.parse_string (Ps_sat.Dimacs.to_string inst.I.cnf) in
+  let solver = Ps_sat.Solver.create () in
+  ignore (Ps_sat.Solver.load solver cnf);
+  ignore (Ps_sat.Solver.add_clause solver [ Ps_sat.Lit.pos inst.I.root ]);
+  let t0 = Unix.gettimeofday () in
+  let r =
+    Ps_allsat.Blocking.enumerate ~limit:blocking_cap solver inst.I.proj
+  in
+  let time_s = Unix.gettimeofday () -. t0 in
+  let cubes = List.length r.Ps_allsat.Run.cubes in
+  record_smoke
+    ~workload:(Printf.sprintf "dimacs-count%d" bits)
+    ~engine:"blocking" ~time_s ~solutions:(float_of_int cubes) ~cubes
+    r.Ps_allsat.Run.stats;
+  let rows =
+    List.rev_map
+      (fun r ->
+        let pps =
+          if r.sm_time_s > 0.0 then float_of_int r.sm_propagations /. r.sm_time_s
+          else 0.0
+        in
+        [
+          r.sm_workload; r.sm_engine; g r.sm_solutions;
+          string_of_int r.sm_cubes; string_of_int r.sm_conflicts;
+          string_of_int r.sm_propagations; Printf.sprintf "%.0f" pps;
+          ms r.sm_time_s;
+        ])
+      !smoke_rows
+  in
+  print_table "Smoke profile: per-engine throughput"
+    [ "workload"; "engine"; "solutions"; "cubes"; "conflicts"; "propagations";
+      "props/sec"; "ms" ]
+    rows
+
 (* --- consistency gate --------------------------------------------------------- *)
 
 let sanity () =
@@ -660,6 +766,9 @@ let () =
       bench_trace := sink;
       at_exit close;
       parse_flags acc rest
+    | "--json" :: path :: rest ->
+      json_file := Some path;
+      parse_flags acc rest
     | a :: rest -> parse_flags (a :: acc) rest
     | [] -> List.rev acc
   in
@@ -677,7 +786,7 @@ let () =
       ("table1", table1); ("table2", table2); ("table3", table3);
       ("table4", table4); ("fig1", fig1); ("fig2", fig2); ("fig3", fig3);
       ("fig4", fig4); ("fig5", fig5); ("table5", table5); ("fig6", fig6);
-      ("table6", table6); ("fig7", fig7);
+      ("table6", table6); ("fig7", fig7); ("smoke", smoke);
     ]
   in
   if not (List.mem "notables" args) then begin
@@ -685,4 +794,5 @@ let () =
     List.iter (fun (name, f) -> if want name then f ()) experiments
   end;
   if args = [] || List.mem "bechamel" args || List.mem "notables" args then
-    bechamel_section ()
+    bechamel_section ();
+  match !json_file with None -> () | Some path -> write_json_summary path

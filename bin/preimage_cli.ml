@@ -335,7 +335,12 @@ let allsat_cmd =
       & info [ "minimize" ] ~doc:"Post-process the cover (subsumption + merging).")
   in
   let run file width limit use_lift minimize timeout conflict_limit trace_file =
-    let cnf, declared = Ps_sat.Dimacs.parse_file_projected file in
+    let cnf, declared =
+      try Ps_sat.Dimacs.parse_file_projected file with
+      | Ps_sat.Dimacs.Parse_error { line; msg } ->
+        die "%s: line %d: %s" file line msg
+      | Sys_error msg -> die "%s" msg
+    in
     let proj =
       match (width, declared) with
       | Some w, _ ->

@@ -1,98 +1,145 @@
-let parse_tokens tokens =
-  let nvars = ref 0 in
-  let header_seen = ref false in
-  let clauses = ref [] in
-  let current = ref [] in
-  let rec loop = function
-    | [] ->
-      if !current <> [] then failwith "Dimacs: unterminated clause (missing 0)";
-      Cnf.of_clauses ~nvars:!nvars (List.rev !clauses)
-    | "p" :: "cnf" :: nv :: _nc :: rest ->
-      if !header_seen then failwith "Dimacs: duplicate header";
-      header_seen := true;
-      (match int_of_string_opt nv with
-      | Some n when n >= 0 -> nvars := n
-      | _ -> failwith "Dimacs: bad variable count");
-      loop rest
-    | "p" :: _ -> failwith "Dimacs: malformed header"
-    | tok :: rest -> (
-      match int_of_string_opt tok with
-      | None -> failwith (Printf.sprintf "Dimacs: unexpected token %S" tok)
-      | Some 0 ->
-        clauses := List.rev !current :: !clauses;
-        current := [];
-        loop rest
-      | Some n ->
-        current := Lit.of_dimacs n :: !current;
-        loop rest)
-  in
-  loop tokens
+exception Parse_error of { line : int; msg : string }
 
-let is_comment line =
-  let line = String.trim line in
-  String.length line > 0 && line.[0] = 'c'
+let () =
+  Printexc.register_printer (function
+    | Parse_error { line; msg } ->
+      Some (Printf.sprintf "DIMACS parse error at line %d: %s" line msg)
+    | _ -> None)
 
-let strip_comments s =
-  String.split_on_char '\n' s
-  |> List.filter (fun line -> not (is_comment line))
-  |> String.concat " "
+let error ~line fmt =
+  Printf.ksprintf (fun msg -> raise (Parse_error { line; msg })) fmt
+
+(* Streaming parser state. Input is consumed one line at a time — live
+   memory is the accumulated clauses, never a copy of the document. *)
+type state = {
+  mutable nvars : int;
+  mutable header_seen : bool;
+  mutable clauses : Lit.t list list; (* reversed; clauses themselves reversed *)
+  mutable current : Lit.t list; (* literals of the clause being read *)
+  mutable current_line : int; (* line where [current] started *)
+  mutable show : Lit.var list; (* reversed projection declaration *)
+}
+
+let make_state () =
+  {
+    nvars = 0;
+    header_seen = false;
+    clauses = [];
+    current = [];
+    current_line = 0;
+    show = [];
+  }
+
+let tokens_of_line line =
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.concat_map (String.split_on_char '\r')
+  |> List.filter (fun t -> t <> "")
 
 (* [c p show v1 v2 ... 0] — the projected-counting convention. Several
    show lines concatenate. *)
-let show_line_vars line =
-  let tokens =
-    String.trim line |> String.split_on_char ' '
-    |> List.filter (fun t -> t <> "")
+let feed_show st ~line rest =
+  List.iter
+    (fun t ->
+      match int_of_string_opt t with
+      | Some 0 -> ()
+      | Some n when n > 0 -> st.show <- (n - 1) :: st.show
+      | Some n -> error ~line "negative variable %d in 'c p show'" n
+      | None -> error ~line "bad token %S in 'c p show'" t)
+    rest
+
+let feed_line st ~line raw =
+  match tokens_of_line raw with
+  | [] -> ()
+  | "c" :: rest -> (
+    match rest with
+    | "p" :: "show" :: vars -> feed_show st ~line vars
+    | _ -> () (* plain comment *))
+  | "p" :: rest -> (
+    if st.header_seen then error ~line "duplicate 'p cnf' header";
+    match rest with
+    | [ "cnf"; nv; nc ] -> (
+      st.header_seen <- true;
+      (match int_of_string_opt nv with
+      | Some n when n >= 0 -> st.nvars <- n
+      | _ -> error ~line "bad variable count %S" nv);
+      match int_of_string_opt nc with
+      | Some n when n >= 0 -> ()
+      | _ -> error ~line "bad clause count %S" nc)
+    | _ -> error ~line "malformed header (want 'p cnf <vars> <clauses>')")
+  | toks ->
+    List.iter
+      (fun tok ->
+        match int_of_string_opt tok with
+        | None -> error ~line "unexpected token %S" tok
+        | Some 0 ->
+          st.clauses <- st.current :: st.clauses;
+          st.current <- []
+        | Some n ->
+          if st.current = [] then st.current_line <- line;
+          st.current <- Lit.of_dimacs n :: st.current)
+      toks
+
+let finish st ~last_line =
+  if st.current <> [] then
+    error
+      ~line:(if st.current_line > 0 then st.current_line else last_line)
+      "unterminated clause (missing 0)";
+  let cnf =
+    Cnf.of_clauses ~nvars:st.nvars (List.rev_map List.rev st.clauses)
   in
-  match tokens with
-  | "c" :: "p" :: "show" :: rest ->
-    Some
-      (List.filter_map
-         (fun t ->
-           match int_of_string_opt t with
-           | Some 0 | None -> None
-           | Some n when n > 0 -> Some (n - 1)
-           | Some _ -> failwith "Dimacs: negative variable in 'c p show'")
-         rest)
-  | _ -> None
-
-let projection_of s =
-  let vars =
-    String.split_on_char '\n' s |> List.filter_map show_line_vars |> List.concat
+  let projection =
+    match List.rev st.show with [] -> None | vs -> Some vs
   in
-  match vars with [] -> None | vs -> Some vs
+  (cnf, projection)
 
-let parse_string s =
-  strip_comments s
-  |> String.split_on_char ' '
-  |> List.concat_map (String.split_on_char '\t')
-  |> List.concat_map (String.split_on_char '\r')
-  |> List.filter (fun tok -> tok <> "")
-  |> parse_tokens
+let parse_channel_projected ic =
+  let st = make_state () in
+  let line = ref 0 in
+  (try
+     while true do
+       let l = input_line ic in
+       incr line;
+       feed_line st ~line:!line l
+     done
+   with End_of_file -> ());
+  finish st ~last_line:!line
 
-let parse_string_projected s = (parse_string s, projection_of s)
+(* Iterate the lines of a string without materialising a line list. *)
+let iter_string_lines f s =
+  let n = String.length s in
+  let start = ref 0 in
+  let line = ref 0 in
+  while !start <= n do
+    let stop =
+      match String.index_from_opt s !start '\n' with
+      | Some i -> i
+      | None -> n
+    in
+    incr line;
+    f ~line:!line (String.sub s !start (stop - !start));
+    start := stop + 1
+  done;
+  !line
+
+let parse_string_projected s =
+  let st = make_state () in
+  let last_line = iter_string_lines (fun ~line l -> feed_line st ~line l) s in
+  finish st ~last_line
+
+let parse_string s = fst (parse_string_projected s)
+
+let parse_channel ic = fst (parse_channel_projected ic)
+
+let parse_file path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> parse_channel ic)
 
 let parse_file_projected path =
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
-    (fun () ->
-      let len = in_channel_length ic in
-      let buf = really_input_string ic len in
-      parse_string_projected buf)
-
-let parse_channel ic =
-  let buf = Buffer.create 4096 in
-  (try
-     while true do
-       Buffer.add_channel buf ic 1
-     done
-   with End_of_file -> ());
-  parse_string (Buffer.contents buf)
-
-let parse_file path =
-  let ic = open_in path in
-  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> parse_channel ic)
+    (fun () -> parse_channel_projected ic)
 
 let to_string cnf =
   let buf = Buffer.create 1024 in

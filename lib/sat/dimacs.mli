@@ -1,10 +1,20 @@
 (** DIMACS CNF reader/writer.
 
     Standard [p cnf <vars> <clauses>] format with [c] comment lines;
-    clauses may span lines and are terminated by [0]. *)
+    clauses may span lines and are terminated by [0].
 
-(** [parse_string s] reads a DIMACS document.
-    Raises [Failure] with a message on malformed input. *)
+    Parsing is streaming: input is consumed line by line, so loading a
+    file keeps only the parsed clauses live — never a second copy of the
+    document. Malformed input raises {!Parse_error} carrying the
+    1-based line number of the offending construct. *)
+
+(** Raised on malformed input; [line] is 1-based. For an unterminated
+    final clause the line is where that clause started. A printer is
+    registered, so [Printexc.to_string] yields
+    ["DIMACS parse error at line N: ..."]. *)
+exception Parse_error of { line : int; msg : string }
+
+(** [parse_string s] reads a DIMACS document. Raises {!Parse_error}. *)
 val parse_string : string -> Cnf.t
 
 (** [parse_string_projected s] additionally returns the projection set
@@ -19,6 +29,10 @@ val parse_file_projected : string -> Cnf.t * Lit.var list option
 
 (** [parse_channel ic] reads a DIMACS document from a channel. *)
 val parse_channel : in_channel -> Cnf.t
+
+(** [parse_channel_projected ic] — channel variant of
+    {!parse_string_projected}. *)
+val parse_channel_projected : in_channel -> Cnf.t * Lit.var list option
 
 (** [parse_file path] reads a DIMACS file. *)
 val parse_file : string -> Cnf.t

@@ -5,30 +5,34 @@ module Luby = Ps_util.Luby
 module Budget = Ps_util.Budget
 module Trace = Ps_util.Trace
 
-type clause = {
-  mutable lits : Lit.t array;   (* watched literals at positions 0 and 1 *)
-  mutable act : float;
-  learnt : bool;
-}
-
-let dummy_clause = { lits = [||]; act = 0.0; learnt = false }
-
 type result = Sat | Unsat | Unknown
 
 (* Value encoding: -1 = unassigned, 0 = false, 1 = true. *)
 let v_undef = -1
 
+let cref_undef = Arena.Cref.undef
+
+(* All clause storage lives in the {!Arena}; everywhere below a clause
+   is an [Arena.Cref.t] (an int offset). Watcher lists are flat int
+   vectors of (cref, blocker) pairs: a visit whose blocker literal is
+   already true never touches clause memory. Per-variable state is kept
+   in plain arrays (grown in [new_var]) so the propagation inner loop is
+   free of bounds checks and allocation. *)
 type t = {
-  clauses : clause Vec.t;
-  learnts : clause Vec.t;
-  mutable watches : clause Vec.t array;  (* indexed by literal *)
-  assigns : int Vec.t;                   (* per var *)
-  level : int Vec.t;                     (* per var *)
-  reason : clause Vec.t;                 (* per var; dummy_clause = none *)
-  phase : bool Vec.t;                    (* per var, saved polarity *)
-  activity : float Vec.t;                (* per var *)
-  seen : bool Vec.t;                     (* per var, scratch for analyze *)
-  trail : Lit.t Vec.t;
+  mutable arena : Arena.t;               (* replaced wholesale by GC *)
+  clauses : int Vec.t;                   (* problem clause refs *)
+  learnts : int Vec.t;                   (* learnt clause refs *)
+  mutable w_data : int array array;      (* per literal: (cref, blocker)* *)
+  mutable w_size : int array;            (* per literal: live pair count *)
+  mutable n_vars : int;
+  mutable assigns : int array;           (* per var *)
+  mutable level : int array;             (* per var *)
+  mutable reason : int array;            (* per var; cref_undef = none *)
+  mutable phase : bool array;            (* per var, saved polarity *)
+  activity : float array ref;            (* per var; the VSIDS heap closes over the ref *)
+  mutable seen : bool array;             (* per var, scratch for analyze *)
+  mutable trail : int array;             (* assigned literals in order *)
+  mutable n_trail : int;
   trail_lim : int Vec.t;
   mutable qhead : int;
   order : Iheap.t;
@@ -46,6 +50,11 @@ type t = {
   mutable n_deleted : int;
   mutable n_solve_calls : int;
   mutable n_minimized : int;
+  mutable n_reduce_dbs : int;
+  mutable n_gcs : int;
+  mutable n_gc_words : int;
+  mutable n_watch_visits : int;
+  mutable n_blocker_skips : int;
   mutable conflict_core : Lit.t list;
   (* Transient per-[solve] observability hooks (set on entry). *)
   mutable budget : Budget.t option;
@@ -57,21 +66,25 @@ let clause_decay = 1.0 /. 0.999
 let restart_base = 64
 
 let create () =
-  let activity = Vec.create ~dummy:0.0 in
+  let activity = ref [||] in
   {
-    clauses = Vec.create ~dummy:dummy_clause;
-    learnts = Vec.create ~dummy:dummy_clause;
-    watches = [||];
-    assigns = Vec.create ~dummy:v_undef;
-    level = Vec.create ~dummy:(-1);
-    reason = Vec.create ~dummy:dummy_clause;
-    phase = Vec.create ~dummy:false;
+    arena = Arena.create ();
+    clauses = Vec.create ~dummy:cref_undef;
+    learnts = Vec.create ~dummy:cref_undef;
+    w_data = [||];
+    w_size = [||];
+    n_vars = 0;
+    assigns = [||];
+    level = [||];
+    reason = [||];
+    phase = [||];
     activity;
-    seen = Vec.create ~dummy:false;
-    trail = Vec.create ~dummy:(-1);
+    seen = [||];
+    trail = [||];
+    n_trail = 0;
     trail_lim = Vec.create ~dummy:(-1);
     qhead = 0;
-    order = Iheap.create ~score:(fun v -> Vec.get activity v);
+    order = Iheap.create ~score:(fun v -> !activity.(v));
     var_inc = 1.0;
     cla_inc = 1.0;
     ok = true;
@@ -86,30 +99,61 @@ let create () =
     n_deleted = 0;
     n_solve_calls = 0;
     n_minimized = 0;
+    n_reduce_dbs = 0;
+    n_gcs = 0;
+    n_gc_words = 0;
+    n_watch_visits = 0;
+    n_blocker_skips = 0;
     conflict_core = [];
     budget = None;
     trace = Trace.null;
   }
 
-let nvars t = Vec.size t.assigns
+let nvars t = t.n_vars
 
 let new_var t =
-  let v = nvars t in
-  Vec.push t.assigns v_undef;
-  Vec.push t.level (-1);
-  Vec.push t.reason dummy_clause;
-  Vec.push t.phase false;
-  Vec.push t.activity 0.0;
-  Vec.push t.seen false;
-  let nwatch = 2 * (v + 1) in
-  if Array.length t.watches < nwatch then begin
-    let watches' =
-      Array.init (max nwatch (2 * Array.length t.watches + 2)) (fun i ->
-          if i < Array.length t.watches then t.watches.(i)
-          else Vec.create ~dummy:dummy_clause)
+  let v = t.n_vars in
+  if v >= Array.length t.assigns then begin
+    let cap = max 16 (2 * Array.length t.assigns) in
+    let grow_int a init =
+      let a' = Array.make cap init in
+      Array.blit a 0 a' 0 v;
+      a'
     in
-    t.watches <- watches'
+    let grow_bool a =
+      let a' = Array.make cap false in
+      Array.blit a 0 a' 0 v;
+      a'
+    in
+    t.assigns <- grow_int t.assigns v_undef;
+    t.level <- grow_int t.level (-1);
+    t.reason <- grow_int t.reason cref_undef;
+    t.phase <- grow_bool t.phase;
+    t.seen <- grow_bool t.seen;
+    (let a' = Array.make cap 0.0 in
+     Array.blit !(t.activity) 0 a' 0 v;
+     t.activity := a');
+    (let tr' = Array.make cap 0 in
+     Array.blit t.trail 0 tr' 0 t.n_trail;
+     t.trail <- tr');
+    (let wd' = Array.make (2 * cap) [||] in
+     Array.blit t.w_data 0 wd' 0 (2 * v);
+     t.w_data <- wd');
+    (let ws' = Array.make (2 * cap) 0 in
+     Array.blit t.w_size 0 ws' 0 (2 * v);
+     t.w_size <- ws')
   end;
+  t.assigns.(v) <- v_undef;
+  t.level.(v) <- -1;
+  t.reason.(v) <- cref_undef;
+  t.phase.(v) <- false;
+  t.seen.(v) <- false;
+  !(t.activity).(v) <- 0.0;
+  t.w_data.(2 * v) <- [||];
+  t.w_data.((2 * v) + 1) <- [||];
+  t.w_size.(2 * v) <- 0;
+  t.w_size.((2 * v) + 1) <- 0;
+  t.n_vars <- v + 1;
   Iheap.insert t.order v;
   v
 
@@ -122,6 +166,7 @@ let okay t = t.ok
 
 let n_clauses t = Vec.size t.clauses
 let n_learnts t = Vec.size t.learnts
+
 let stats t =
   let st = Stats.create () in
   Stats.add st "conflicts" t.n_conflicts;
@@ -132,19 +177,29 @@ let stats t =
   Stats.add st "deleted" t.n_deleted;
   Stats.add st "solve_calls" t.n_solve_calls;
   Stats.add st "minimized_lits" t.n_minimized;
+  Stats.add st "reduce_dbs" t.n_reduce_dbs;
+  Stats.add st "watcher_visits" t.n_watch_visits;
+  Stats.add st "blocker_skips" t.n_blocker_skips;
+  Stats.add st "arena_words" (Arena.len t.arena);
+  Stats.add st "arena_bytes" (8 * Arena.len t.arena);
+  Stats.add st "arena_live_words" (Arena.live_words t.arena);
+  Stats.add st "arena_gcs" t.n_gcs;
+  Stats.add st "arena_gc_words" t.n_gc_words;
   st
 
 (* --- assignment primitives ------------------------------------------- *)
 
-let value_var t v = Vec.get t.assigns v
+let value_var t v = t.assigns.(v)
 
+(* Positive literals have low bit 0, so xor-ing the sign bit into the
+   variable's 0/1 value gives the literal's value directly. *)
 let value_lit t l =
-  let a = Vec.get t.assigns (Lit.var l) in
-  if a = v_undef then v_undef else if Lit.sign l then a else 1 - a
+  let a = Array.unsafe_get t.assigns (l lsr 1) in
+  if a < 0 then v_undef else a lxor (l land 1)
 
 let decision_level t = Vec.size t.trail_lim
 
-let new_decision_level t = Vec.push t.trail_lim (Vec.size t.trail)
+let new_decision_level t = Vec.push t.trail_lim t.n_trail
 
 let enqueue t l reason =
   match value_lit t l with
@@ -152,37 +207,39 @@ let enqueue t l reason =
   | 0 -> false
   | _ ->
     let v = Lit.var l in
-    Vec.set t.assigns v (if Lit.sign l then 1 else 0);
-    Vec.set t.level v (decision_level t);
-    Vec.set t.reason v reason;
-    Vec.push t.trail l;
+    t.assigns.(v) <- (l land 1) lxor 1;
+    t.level.(v) <- decision_level t;
+    t.reason.(v) <- reason;
+    t.trail.(t.n_trail) <- l;
+    t.n_trail <- t.n_trail + 1;
     true
 
 let cancel_until t lvl =
   if decision_level t > lvl then begin
     let bound = Vec.get t.trail_lim lvl in
-    for i = Vec.size t.trail - 1 downto bound do
-      let l = Vec.get t.trail i in
+    for i = t.n_trail - 1 downto bound do
+      let l = t.trail.(i) in
       let v = Lit.var l in
-      Vec.set t.phase v (Lit.sign l);
-      Vec.set t.assigns v v_undef;
-      Vec.set t.reason v dummy_clause;
-      Vec.set t.level v (-1);
+      t.phase.(v) <- Lit.sign l;
+      t.assigns.(v) <- v_undef;
+      t.reason.(v) <- cref_undef;
+      t.level.(v) <- -1;
       Iheap.insert t.order v
     done;
-    Vec.shrink t.trail bound;
+    t.n_trail <- bound;
     Vec.shrink t.trail_lim lvl;
-    t.qhead <- Vec.size t.trail
+    t.qhead <- bound
   end
 
 (* --- activities ------------------------------------------------------ *)
 
 let var_bump t v =
-  let a = Vec.get t.activity v +. t.var_inc in
-  Vec.set t.activity v a;
+  let act = !(t.activity) in
+  let a = act.(v) +. t.var_inc in
+  act.(v) <- a;
   if a > 1e100 then begin
-    for i = 0 to nvars t - 1 do
-      Vec.set t.activity i (Vec.get t.activity i *. 1e-100)
+    for i = 0 to t.n_vars - 1 do
+      act.(i) <- act.(i) *. 1e-100
     done;
     t.var_inc <- t.var_inc *. 1e-100
   end;
@@ -190,92 +247,139 @@ let var_bump t v =
 
 let var_decay_activity t = t.var_inc <- t.var_inc *. var_decay
 
-let cla_bump t c =
-  c.act <- c.act +. t.cla_inc;
-  if c.act > 1e20 then begin
-    Vec.iter (fun c -> c.act <- c.act *. 1e-20) t.learnts;
+let cla_bump t cr =
+  let a = Arena.activity t.arena cr +. t.cla_inc in
+  Arena.set_activity t.arena cr a;
+  if a > 1e20 then begin
+    Vec.iter
+      (fun cr -> Arena.set_activity t.arena cr (Arena.activity t.arena cr *. 1e-20))
+      t.learnts;
     t.cla_inc <- t.cla_inc *. 1e-20
   end
 
 let cla_decay_activity t = t.cla_inc <- t.cla_inc *. clause_decay
 
-(* --- clause attachment ------------------------------------------------ *)
+(* --- watcher lists ----------------------------------------------------- *)
 
-let attach t c =
-  t.watches.(Lit.negate c.lits.(0)) |> fun w -> Vec.push w c;
-  t.watches.(Lit.negate c.lits.(1)) |> fun w -> Vec.push w c
+let watch_push t l cr blocker =
+  let n = t.w_size.(l) in
+  let d = t.w_data.(l) in
+  let d =
+    if (2 * n) + 2 > Array.length d then begin
+      let d' = Array.make (max 8 (2 * Array.length d)) 0 in
+      Array.blit d 0 d' 0 (2 * n);
+      t.w_data.(l) <- d';
+      d'
+    end
+    else d
+  in
+  d.(2 * n) <- cr;
+  d.((2 * n) + 1) <- blocker;
+  t.w_size.(l) <- n + 1
 
-let detach_from t c l =
-  let w = t.watches.(Lit.negate l) in
+let watch_remove t l cr =
+  let d = t.w_data.(l) in
+  let n = t.w_size.(l) in
   let rec find i =
-    if i >= Vec.size w then ()
-    else if Vec.get w i == c then Vec.swap_remove w i
+    if i >= n then ()
+    else if d.(2 * i) = cr then begin
+      d.(2 * i) <- d.(2 * (n - 1));
+      d.((2 * i) + 1) <- d.((2 * (n - 1)) + 1);
+      t.w_size.(l) <- n - 1
+    end
     else find (i + 1)
   in
   find 0
 
-let detach t c =
-  detach_from t c c.lits.(0);
-  detach_from t c c.lits.(1)
+let attach t cr =
+  let l0 = Arena.lit t.arena cr 0 and l1 = Arena.lit t.arena cr 1 in
+  watch_push t (Lit.negate l0) cr l1;
+  watch_push t (Lit.negate l1) cr l0
+
+let detach t cr =
+  watch_remove t (Lit.negate (Arena.lit t.arena cr 0)) cr;
+  watch_remove t (Lit.negate (Arena.lit t.arena cr 1)) cr
 
 (* --- propagation ------------------------------------------------------ *)
 
 let propagate t =
-  let conflict = ref None in
-  while !conflict = None && t.qhead < Vec.size t.trail do
-    let p = Vec.get t.trail t.qhead in
+  let conflict = ref cref_undef in
+  while !conflict = cref_undef && t.qhead < t.n_trail do
+    let p = Array.unsafe_get t.trail t.qhead in
     t.qhead <- t.qhead + 1;
     t.n_propagations <- t.n_propagations + 1;
-    (* Literal [negate p] just became false; visit clauses watching it.
-       [watches.(p)] holds clauses [c] with [negate c.lits.(i) = p]. *)
-    let ws = t.watches.(p) in
-    let n = Vec.size ws in
-    let j = ref 0 in
+    let false_lit = Lit.negate p in
+    (* Literal [false_lit] just became false; visit the watchers of [p].
+       [ws] cannot be repointed inside the loop: the only pushes go to
+       the new watch literal's list, and that literal is never false
+       here, so it is never [false_lit]'s list. *)
+    let ws = t.w_data.(p) in
+    let n = t.w_size.(p) in
+    t.n_watch_visits <- t.n_watch_visits + n;
     let i = ref 0 in
+    let j = ref 0 in
     while !i < n do
-      let c = Vec.get ws !i in
+      let cr = Array.unsafe_get ws (2 * !i) in
+      let blocker = Array.unsafe_get ws ((2 * !i) + 1) in
       incr i;
-      let false_lit = Lit.negate p in
-      if c.lits.(0) = false_lit then begin
-        c.lits.(0) <- c.lits.(1);
-        c.lits.(1) <- false_lit
-      end;
-      (* Invariant: c.lits.(1) = false_lit. *)
-      if value_lit t c.lits.(0) = 1 then begin
-        (* Clause satisfied: keep the watch. *)
-        Vec.set ws !j c;
+      if value_lit t blocker = 1 then begin
+        (* Blocker satisfied: keep the watch, clause memory untouched. *)
+        t.n_blocker_skips <- t.n_blocker_skips + 1;
+        Array.unsafe_set ws (2 * !j) cr;
+        Array.unsafe_set ws ((2 * !j) + 1) blocker;
         incr j
       end
       else begin
-        (* Look for a new literal to watch. *)
-        let len = Array.length c.lits in
-        let rec find k =
-          if k >= len then None
-          else if value_lit t c.lits.(k) <> 0 then Some k
-          else find (k + 1)
-        in
-        match find 2 with
-        | Some k ->
-          c.lits.(1) <- c.lits.(k);
-          c.lits.(k) <- false_lit;
-          Vec.push t.watches.(Lit.negate c.lits.(1)) c
-        | None ->
-          (* Unit or conflicting. *)
-          Vec.set ws !j c;
-          incr j;
-          if not (enqueue t c.lits.(0) c) then begin
-            conflict := Some c;
-            t.qhead <- Vec.size t.trail;
-            (* Copy the remaining watchers back. *)
-            while !i < n do
-              Vec.set ws !j (Vec.get ws !i);
-              incr i;
-              incr j
-            done
+        let data = Arena.raw t.arena in
+        let base = cr + Arena.header_words in
+        if Array.unsafe_get data base = false_lit then begin
+          Array.unsafe_set data base (Array.unsafe_get data (base + 1));
+          Array.unsafe_set data (base + 1) false_lit
+        end;
+        (* Invariant: slot 1 holds [false_lit]. *)
+        let first = Array.unsafe_get data base in
+        if first <> blocker && value_lit t first = 1 then begin
+          Array.unsafe_set ws (2 * !j) cr;
+          Array.unsafe_set ws ((2 * !j) + 1) first;
+          incr j
+        end
+        else begin
+          (* Look for a new literal to watch. *)
+          let size = Arena.raw_size data cr in
+          let rec find k =
+            if k >= size then -1
+            else if value_lit t (Array.unsafe_get data (base + k)) <> 0 then k
+            else find (k + 1)
+          in
+          let k = find 2 in
+          if k >= 0 then begin
+            let lk = Array.unsafe_get data (base + k) in
+            Array.unsafe_set data (base + 1) lk;
+            Array.unsafe_set data (base + k) false_lit;
+            watch_push t (Lit.negate lk) cr first
           end
+          else begin
+            (* Unit or conflicting. *)
+            Array.unsafe_set ws (2 * !j) cr;
+            Array.unsafe_set ws ((2 * !j) + 1) first;
+            incr j;
+            if not (enqueue t first cr) then begin
+              conflict := cr;
+              t.qhead <- t.n_trail;
+              (* Copy the remaining watchers back. *)
+              while !i < n do
+                Array.unsafe_set ws (2 * !j) (Array.unsafe_get ws (2 * !i));
+                Array.unsafe_set ws ((2 * !j) + 1)
+                  (Array.unsafe_get ws ((2 * !i) + 1));
+                incr i;
+                incr j
+              done
+            end
+          end
+        end
       end
     done;
-    Vec.shrink ws !j
+    t.w_size.(p) <- !j
   done;
   !conflict
 
@@ -285,13 +389,14 @@ let propagate t =
    in the clause: its reason's literals are all seen or fixed at level 0
    (local minimization). *)
 let literal_redundant t q =
-  let r = Vec.get t.reason (Lit.var q) in
-  if r == dummy_clause then false
+  let r = t.reason.(Lit.var q) in
+  if r = cref_undef then false
   else begin
     let ok = ref true in
-    for k = 1 to Array.length r.lits - 1 do
-      let vr = Lit.var r.lits.(k) in
-      if not (Vec.get t.seen vr) && Vec.get t.level vr > 0 then ok := false
+    let sz = Arena.size t.arena r in
+    for k = 1 to sz - 1 do
+      let vr = Lit.var (Arena.lit t.arena r k) in
+      if (not t.seen.(vr)) && t.level.(vr) > 0 then ok := false
     done;
     !ok
   end
@@ -301,32 +406,33 @@ let analyze t confl =
   Vec.push learnt (-1) (* slot for the asserting literal *);
   let path_count = ref 0 in
   let p = ref (-1) in
-  let index = ref (Vec.size t.trail - 1) in
+  let index = ref (t.n_trail - 1) in
   let c = ref confl in
   let to_clear = ref [] in
   let continue = ref true in
   while !continue do
-    if !c.learnt then cla_bump t !c;
+    if Arena.learnt t.arena !c then cla_bump t !c;
+    let sz = Arena.size t.arena !c in
     let start = if !p = -1 then 0 else 1 in
-    for k = start to Array.length !c.lits - 1 do
-      let q = !c.lits.(k) in
+    for k = start to sz - 1 do
+      let q = Arena.lit t.arena !c k in
       let v = Lit.var q in
-      if (not (Vec.get t.seen v)) && Vec.get t.level v > 0 then begin
-        Vec.set t.seen v true;
+      if (not t.seen.(v)) && t.level.(v) > 0 then begin
+        t.seen.(v) <- true;
         to_clear := v :: !to_clear;
         var_bump t v;
-        if Vec.get t.level v >= decision_level t then incr path_count
+        if t.level.(v) >= decision_level t then incr path_count
         else Vec.push learnt q
       end
     done;
     (* Next clause to resolve with: walk the trail backwards. *)
-    while not (Vec.get t.seen (Lit.var (Vec.get t.trail !index))) do
+    while not t.seen.(Lit.var t.trail.(!index)) do
       decr index
     done;
-    p := Vec.get t.trail !index;
+    p := t.trail.(!index);
     decr index;
-    c := Vec.get t.reason (Lit.var !p);
-    Vec.set t.seen (Lit.var !p) false;
+    c := t.reason.(Lit.var !p);
+    t.seen.(Lit.var !p) <- false;
     decr path_count;
     if !path_count <= 0 then continue := false
   done;
@@ -345,59 +451,96 @@ let analyze t confl =
   if Vec.size kept > 1 then begin
     let max_i = ref 1 in
     for k = 1 to Vec.size kept - 1 do
-      if Vec.get t.level (Lit.var (Vec.get kept k))
-         > Vec.get t.level (Lit.var (Vec.get kept !max_i))
+      if t.level.(Lit.var (Vec.get kept k)) > t.level.(Lit.var (Vec.get kept !max_i))
       then max_i := k
     done;
     let tmp = Vec.get kept 1 in
     Vec.set kept 1 (Vec.get kept !max_i);
     Vec.set kept !max_i tmp;
-    bt_level := Vec.get t.level (Lit.var (Vec.get kept 1))
+    bt_level := t.level.(Lit.var (Vec.get kept 1))
   end;
-  List.iter (fun v -> Vec.set t.seen v false) !to_clear;
+  List.iter (fun v -> t.seen.(v) <- false) !to_clear;
   (Vec.to_array kept, !bt_level)
 
 let record_learnt t lits =
   t.n_learnt <- t.n_learnt + 1;
   if Array.length lits = 1 then begin
     cancel_until t 0;
-    ignore (enqueue t lits.(0) dummy_clause)
+    ignore (enqueue t lits.(0) cref_undef)
   end
   else begin
-    let c = { lits; act = 0.0; learnt = true } in
-    Vec.push t.learnts c;
-    attach t c;
-    cla_bump t c;
-    ignore (enqueue t lits.(0) c)
+    let cr = Arena.alloc t.arena ~learnt:true lits in
+    Vec.push t.learnts cr;
+    attach t cr;
+    cla_bump t cr;
+    ignore (enqueue t lits.(0) cr)
   end
 
-(* --- learnt-clause DB reduction --------------------------------------- *)
+(* --- learnt-clause DB reduction and arena compaction ------------------- *)
 
-let locked t c =
-  Array.length c.lits > 0
-  && Vec.get t.reason (Lit.var c.lits.(0)) == c
-  && value_lit t c.lits.(0) = 1
+let locked t cr =
+  let l0 = Arena.lit t.arena cr 0 in
+  t.reason.(Lit.var l0) = cr && value_lit t l0 = 1
+
+(* Copying collection: every live reference site is visited once and
+   relocated into a fresh arena. Watchers go first so clauses watched on
+   the same literal land adjacent (propagation locality). Reasons are
+   safe to walk wholesale: only locked clauses are reasons, and locked
+   clauses are never freed, so every non-undef reason is live. *)
+let garbage_collect t =
+  let from = t.arena in
+  let before_words = Arena.len from in
+  let into = Arena.create ~capacity:(Arena.live_words from) () in
+  for l = 0 to (2 * t.n_vars) - 1 do
+    let d = t.w_data.(l) in
+    for i = 0 to t.w_size.(l) - 1 do
+      d.(2 * i) <- Arena.reloc ~from ~into d.(2 * i)
+    done
+  done;
+  for v = 0 to t.n_vars - 1 do
+    let r = t.reason.(v) in
+    if r <> cref_undef then t.reason.(v) <- Arena.reloc ~from ~into r
+  done;
+  for i = 0 to Vec.size t.clauses - 1 do
+    Vec.set t.clauses i (Arena.reloc ~from ~into (Vec.get t.clauses i))
+  done;
+  for i = 0 to Vec.size t.learnts - 1 do
+    Vec.set t.learnts i (Arena.reloc ~from ~into (Vec.get t.learnts i))
+  done;
+  t.arena <- into;
+  t.n_gcs <- t.n_gcs + 1;
+  t.n_gc_words <- t.n_gc_words + (before_words - Arena.len into);
+  if not (Trace.is_null t.trace) then
+    Trace.emit t.trace
+      (Trace.Gc { before_words; after_words = Arena.len into })
 
 let reduce_db t =
+  t.n_reduce_dbs <- t.n_reduce_dbs + 1;
   let before = Vec.size t.learnts in
   let arr = Vec.to_array t.learnts in
-  Array.sort (fun a b -> compare a.act b.act) arr;
+  Array.sort
+    (fun a b -> compare (Arena.activity t.arena a) (Arena.activity t.arena b))
+    arr;
   let n = Array.length arr in
   let lim = t.cla_inc /. float_of_int (max n 1) in
   Vec.clear t.learnts;
   Array.iteri
-    (fun i c ->
+    (fun i cr ->
       let doomed =
-        Array.length c.lits > 2 && (not (locked t c)) && (i < n / 2 || c.act < lim)
+        Arena.size t.arena cr > 2
+        && (not (locked t cr))
+        && (i < n / 2 || Arena.activity t.arena cr < lim)
       in
       if doomed then begin
-        detach t c;
+        detach t cr;
+        Arena.free t.arena cr;
         t.n_deleted <- t.n_deleted + 1
       end
-      else Vec.push t.learnts c)
+      else Vec.push t.learnts cr)
     arr;
   if not (Trace.is_null t.trace) then
-    Trace.emit t.trace (Trace.Reduce_db { before; after = Vec.size t.learnts })
+    Trace.emit t.trace (Trace.Reduce_db { before; after = Vec.size t.learnts });
+  if Arena.should_gc t.arena then garbage_collect t
 
 (* --- adding clauses ---------------------------------------------------- *)
 
@@ -421,16 +564,16 @@ let add_clause t lits =
         t.ok <- false;
         false
       | [ l ] ->
-        ignore (enqueue t l dummy_clause);
-        (match propagate t with
-        | Some _ ->
+        ignore (enqueue t l cref_undef);
+        if propagate t <> cref_undef then begin
           t.ok <- false;
           false
-        | None -> true)
+        end
+        else true
       | _ ->
-        let c = { lits = Array.of_list lits; act = 0.0; learnt = false } in
-        Vec.push t.clauses c;
-        attach t c;
+        let cr = Arena.alloc t.arena ~learnt:false (Array.of_list lits) in
+        Vec.push t.clauses cr;
+        attach t cr;
         true
     end
   end
@@ -459,35 +602,36 @@ let pick_branch_var t =
 let analyze_final t p =
   let core = ref [ p ] in
   let v0 = Lit.var p in
-  if Vec.get t.level v0 > 0 then begin
-    Vec.set t.seen v0 true;
+  if t.level.(v0) > 0 then begin
+    t.seen.(v0) <- true;
     let cleared = ref [ v0 ] in
     let start =
       if Vec.size t.trail_lim = 0 then 0 else Vec.get t.trail_lim 0
     in
-    for i = Vec.size t.trail - 1 downto start do
-      let x = Lit.var (Vec.get t.trail i) in
-      if Vec.get t.seen x then begin
-        let r = Vec.get t.reason x in
-        if r == dummy_clause then
+    for i = t.n_trail - 1 downto start do
+      let x = Lit.var t.trail.(i) in
+      if t.seen.(x) then begin
+        let r = t.reason.(x) in
+        if r = cref_undef then
           (* a decision here is necessarily an assumption (this analysis
              only runs while assumptions alone are decided); the trail
              literal is the assumption itself *)
-          (if x <> v0 then core := Vec.get t.trail i :: !core)
-        else
-          Array.iteri
-            (fun k q ->
-              if k > 0 && Vec.get t.level (Lit.var q) > 0
-                 && not (Vec.get t.seen (Lit.var q))
-              then begin
-                Vec.set t.seen (Lit.var q) true;
-                cleared := Lit.var q :: !cleared
-              end)
-            r.lits;
-        Vec.set t.seen x false
+          (if x <> v0 then core := t.trail.(i) :: !core)
+        else begin
+          let sz = Arena.size t.arena r in
+          for k = 1 to sz - 1 do
+            let q = Arena.lit t.arena r k in
+            let vq = Lit.var q in
+            if t.level.(vq) > 0 && not t.seen.(vq) then begin
+              t.seen.(vq) <- true;
+              cleared := vq :: !cleared
+            end
+          done
+        end;
+        t.seen.(x) <- false
       end
     done;
-    List.iter (fun v -> Vec.set t.seen v false) !cleared
+    List.iter (fun v -> t.seen.(v) <- false) !cleared
   end;
   !core
 
@@ -523,8 +667,8 @@ let search t assumptions restart_lim budget =
     | Some b -> (charge_props (); Budget.check b <> None)
   in
   while !outcome = None do
-    match propagate t with
-    | Some confl ->
+    let confl = propagate t in
+    if confl <> cref_undef then begin
       incr conflicts;
       t.n_conflicts <- t.n_conflicts + 1;
       (match budget with Some b -> Budget.tick_conflict b | None -> ());
@@ -544,53 +688,52 @@ let search t assumptions restart_lim budget =
           outcome := Some S_stopped
         end
       end
-    | None ->
-      if !conflicts >= restart_lim then begin
-        cancel_until t 0;
-        t.n_restarts <- t.n_restarts + 1;
-        if not (Trace.is_null t.trace) then
-          Trace.emit t.trace
-            (Trace.Restart
-               { conflicts = t.n_conflicts; learnts = Vec.size t.learnts });
-        outcome := Some S_restart
-      end
-      else if
-        !decisions_unpolled >= decision_poll_grain && out_of_budget ()
-      then begin
+    end
+    else if !conflicts >= restart_lim then begin
+      cancel_until t 0;
+      t.n_restarts <- t.n_restarts + 1;
+      if not (Trace.is_null t.trace) then
+        Trace.emit t.trace
+          (Trace.Restart
+             { conflicts = t.n_conflicts; learnts = Vec.size t.learnts });
+      outcome := Some S_restart
+    end
+    else if !decisions_unpolled >= decision_poll_grain && out_of_budget ()
+    then begin
+      decisions_unpolled := 0;
+      cancel_until t 0;
+      outcome := Some S_stopped
+    end
+    else begin
+      if !decisions_unpolled >= decision_poll_grain then
         decisions_unpolled := 0;
-        cancel_until t 0;
-        outcome := Some S_stopped
+      if float_of_int (Vec.size t.learnts - t.n_trail) >= t.max_learnts then
+        reduce_db t;
+      if decision_level t < n_assumps then begin
+        (* Re-decide the next assumption. *)
+        let p = assumptions.(decision_level t) in
+        match value_lit t p with
+        | 1 -> new_decision_level t
+        | 0 ->
+          t.conflict_core <- analyze_final t p;
+          outcome := Some S_unsat
+        | _ ->
+          new_decision_level t;
+          ignore (enqueue t p cref_undef)
       end
       else begin
-        if !decisions_unpolled >= decision_poll_grain then
-          decisions_unpolled := 0;
-        if float_of_int (Vec.size t.learnts - Vec.size t.trail) >= t.max_learnts
-        then reduce_db t;
-        if decision_level t < n_assumps then begin
-          (* Re-decide the next assumption. *)
-          let p = assumptions.(decision_level t) in
-          match value_lit t p with
-          | 1 -> new_decision_level t
-          | 0 ->
-            t.conflict_core <- analyze_final t p;
-            outcome := Some S_unsat
-          | _ ->
-            new_decision_level t;
-            ignore (enqueue t p dummy_clause)
-        end
-        else begin
-          match pick_branch_var t with
-          | None ->
-            capture_model t;
-            outcome := Some S_sat
-          | Some v ->
-            t.n_decisions <- t.n_decisions + 1;
-            incr decisions_unpolled;
-            (match budget with Some b -> Budget.charge_decisions b 1 | None -> ());
-            new_decision_level t;
-            ignore (enqueue t (Lit.make v (Vec.get t.phase v)) dummy_clause)
-        end
+        match pick_branch_var t with
+        | None ->
+          capture_model t;
+          outcome := Some S_sat
+        | Some v ->
+          t.n_decisions <- t.n_decisions + 1;
+          incr decisions_unpolled;
+          (match budget with Some b -> Budget.charge_decisions b 1 | None -> ());
+          new_decision_level t;
+          ignore (enqueue t (Lit.make v t.phase.(v)) cref_undef)
       end
+    end
   done;
   charge_props ();
   match !outcome with Some o -> o | None -> assert false
@@ -651,8 +794,60 @@ let model t =
   Array.copy t.model_arr
 
 let root_value t v =
-  if v < nvars t && Vec.get t.level v = 0 then
+  if v < nvars t && t.level.(v) = 0 then
     match value_var t v with 1 -> Some true | 0 -> Some false | _ -> None
   else None
 
 let unsat_core t = t.conflict_core
+
+(* --- introspection / testing hooks ------------------------------------- *)
+
+let check_watches t =
+  let exception Bad of string in
+  let bad fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt in
+  try
+    let live = Hashtbl.create 64 in
+    let record cr =
+      if cr = cref_undef then bad "clause list holds cref_undef";
+      if Arena.dead t.arena cr then bad "clause list holds dead cref %d" cr;
+      Hashtbl.replace live cr 0
+    in
+    Vec.iter record t.clauses;
+    Vec.iter record t.learnts;
+    (* The arena's live blocks are exactly the registered clauses. *)
+    let n_arena = ref 0 in
+    Arena.iter_live
+      (fun cr ->
+        incr n_arena;
+        if not (Hashtbl.mem live cr) then
+          bad "arena block %d not in clause lists" cr)
+      t.arena;
+    if !n_arena <> Hashtbl.length live then
+      bad "arena has %d live blocks, clause lists %d" !n_arena
+        (Hashtbl.length live);
+    (* Every watcher references a live clause through one of its two
+       watched literals. *)
+    for l = 0 to (2 * t.n_vars) - 1 do
+      for i = 0 to t.w_size.(l) - 1 do
+        let cr = t.w_data.(l).(2 * i) in
+        (match Hashtbl.find_opt live cr with
+        | None -> bad "watcher of literal %d references unknown cref %d" l cr
+        | Some n -> Hashtbl.replace live cr (n + 1));
+        let l0 = Arena.lit t.arena cr 0 and l1 = Arena.lit t.arena cr 1 in
+        if Lit.negate l0 <> l && Lit.negate l1 <> l then
+          bad "cref %d watched on literal %d but watches %d/%d" cr l
+            (Lit.negate l0) (Lit.negate l1)
+      done
+    done;
+    (* ... and every clause is watched exactly twice. *)
+    Hashtbl.iter
+      (fun cr n -> if n <> 2 then bad "cref %d has %d watchers (want 2)" cr n)
+      live;
+    Ok ()
+  with Bad msg -> Error msg
+
+let dbg_reduce_db t = reduce_db t
+let dbg_gc t = garbage_collect t
+let dbg_set_var_inc t x = t.var_inc <- x
+let arena_words t = Arena.len t.arena
+let arena_gcs t = t.n_gcs

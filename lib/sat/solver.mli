@@ -10,7 +10,14 @@
     [solve] accepts assumptions — literals treated as pseudo-decisions
     below all real decisions — which is how the all-solutions engines
     probe satisfiability of partial assignments while keeping every
-    learnt clause. *)
+    learnt clause.
+
+    Clause storage is a flat {!Arena}: all literals live in one
+    contiguous int array, a clause is an integer offset, and watcher
+    lists are flat vectors of (clause, blocker-literal) pairs. Learnt-DB
+    reduction only marks clauses dead; when more than 20% of the arena
+    is dead, a copying collection compacts it and relocates every
+    watcher and reason reference. *)
 
 type t
 
@@ -81,7 +88,11 @@ val root_value : t -> Lit.var -> bool option
 
 (** Solver statistics: ["conflicts"], ["decisions"], ["propagations"],
     ["restarts"], ["learnt"], ["deleted"], ["solve_calls"],
-    ["minimized_lits"]. *)
+    ["minimized_lits"], ["reduce_dbs"], ["watcher_visits"],
+    ["blocker_skips"] (watcher visits resolved by the blocker literal
+    alone, without touching clause memory), ["arena_words"],
+    ["arena_bytes"], ["arena_live_words"], ["arena_gcs"],
+    ["arena_gc_words"] (cumulative words reclaimed by compaction). *)
 val stats : t -> Ps_util.Stats.t
 
 (** [n_clauses t] is the number of live problem clauses (excluding learnt). *)
@@ -95,3 +106,31 @@ val n_learnts : t -> int
     unsatisfiable (not necessarily minimal; empty when the clause set is
     unsatisfiable on its own). *)
 val unsat_core : t -> Lit.t list
+
+(** {2 Introspection and testing hooks}
+
+    These expose internal machinery for white-box tests and debugging;
+    no engine should depend on them. *)
+
+(** Checks the watcher/arena invariants: every clause list entry is a
+    live arena block, the arena's live blocks are exactly the registered
+    clauses, every watcher references a live clause through the negation
+    of one of its two watched literals, and every clause is watched
+    exactly twice. Returns [Error msg] describing the first violation. *)
+val check_watches : t -> (unit, string) Stdlib.result
+
+(** Force a learnt-DB reduction (normally triggered by the learnt-clause
+    cap during search). May trigger an arena collection. *)
+val dbg_reduce_db : t -> unit
+
+(** Force an arena collection regardless of the wasted-space trigger. *)
+val dbg_gc : t -> unit
+
+(** Set the VSIDS bump increment (to exercise the rescale path). *)
+val dbg_set_var_inc : t -> float -> unit
+
+(** Current arena length in words (live + dead). *)
+val arena_words : t -> int
+
+(** Number of arena collections performed so far. *)
+val arena_gcs : t -> int

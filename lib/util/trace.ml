@@ -1,6 +1,7 @@
 type event =
   | Restart of { conflicts : int; learnts : int }
   | Reduce_db of { before : int; after : int }
+  | Gc of { before_words : int; after_words : int }
   | Solve of { result : string; conflicts : int }
   | Cube of { index : int; fixed : int; width : int }
   | Memo_hit of { depth : int; hits : int }
@@ -11,6 +12,7 @@ type event =
 let event_name = function
   | Restart _ -> "restart"
   | Reduce_db _ -> "reduce_db"
+  | Gc _ -> "gc"
   | Solve _ -> "solve"
   | Cube _ -> "cube"
   | Memo_hit _ -> "memo_hit"
@@ -43,6 +45,9 @@ let to_json ~time_s ev =
       Printf.sprintf {|"conflicts":%d,"learnts":%d|} conflicts learnts
     | Reduce_db { before; after } ->
       Printf.sprintf {|"before":%d,"after":%d|} before after
+    | Gc { before_words; after_words } ->
+      Printf.sprintf {|"before_words":%d,"after_words":%d|} before_words
+        after_words
     | Solve { result; conflicts } ->
       Printf.sprintf {|"result":%s,"conflicts":%d|} (json_string result) conflicts
     | Cube { index; fixed; width } ->

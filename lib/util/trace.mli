@@ -17,6 +17,8 @@ type event =
       (** solver restart; cumulative conflicts, live learnt clauses *)
   | Reduce_db of { before : int; after : int }
       (** learnt-DB reduction: live learnt clauses before/after *)
+  | Gc of { before_words : int; after_words : int }
+      (** clause-arena compaction: arena words before/after *)
   | Solve of { result : string; conflicts : int }
       (** one CDCL [solve] call finished ("sat"/"unsat"/"unknown") *)
   | Cube of { index : int; fixed : int; width : int }

@@ -83,16 +83,34 @@ let test_dimacs_parse () =
   check_bool "eval" true (Cnf.eval f [| true; false; true |])
 
 let test_dimacs_errors () =
-  let fails s =
+  let fails_at expect_line s =
     match Dimacs.parse_string s with
-    | exception Failure _ -> ()
+    | exception Dimacs.Parse_error { line; _ } ->
+      check_int ("error line for " ^ String.escaped s) expect_line line
     | _ -> Alcotest.fail ("expected parse failure on " ^ s)
   in
-  fails "p cnf 2 1\n1 2";           (* unterminated clause *)
-  fails "p cnf x 1\n1 0\n";          (* bad var count *)
-  fails "p cnf 2 1\np cnf 2 1\n1 0"; (* duplicate header *)
-  fails "hello 0";                    (* junk token *)
-  fails "p qbf 2 1\n1 0"             (* malformed header *)
+  fails_at 2 "p cnf 2 1\n1 2";           (* unterminated clause *)
+  fails_at 1 "p cnf x 1\n1 0\n";          (* bad var count *)
+  fails_at 1 "p cnf 2 z\n1 0\n";          (* bad clause count *)
+  fails_at 2 "p cnf 2 1\np cnf 2 1\n1 0"; (* duplicate header *)
+  fails_at 1 "hello 0";                    (* junk token *)
+  fails_at 1 "p qbf 2 1\n1 0";            (* malformed header *)
+  (* Clause spanning lines: the error points at the clause's first line. *)
+  fails_at 2 "p cnf 3 1\n1 2\n3\n";
+  (* A 'c p show' line with a negative variable is located too. *)
+  fails_at 3 "p cnf 2 1\n1 0\nc p show -1 0\n"
+
+let test_dimacs_error_message () =
+  match Dimacs.parse_string "p cnf 2 1\n1 two 0\n" with
+  | exception Dimacs.Parse_error { line; msg } ->
+    check_int "line" 2 line;
+    let contains hay needle =
+      let nh = String.length hay and nn = String.length needle in
+      let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+      go 0
+    in
+    check_bool "message mentions token" true (contains msg "two")
+  | _ -> Alcotest.fail "expected parse failure"
 
 let test_dimacs_projection () =
   let src = "c p show 1 3 0\np cnf 4 1\n1 2 0\nc p show 4 0\n" in
@@ -292,6 +310,7 @@ let () =
         [
           Alcotest.test_case "parse" `Quick test_dimacs_parse;
           Alcotest.test_case "errors" `Quick test_dimacs_errors;
+          Alcotest.test_case "error messages" `Quick test_dimacs_error_message;
           Alcotest.test_case "projection lines" `Quick test_dimacs_projection;
           dimacs_roundtrip;
         ] );

@@ -139,6 +139,104 @@ let simplify_then_solve_agrees =
       if report.Simplify.unsat then not (solve cnf)
       else solve cnf = solve simplified)
 
+(* --- arena / watcher invariants ----------------------------------------- *)
+
+let check_invariants name s =
+  match Solver.check_watches s with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail (name ^ ": " ^ msg)
+
+let test_watcher_invariants_after_reduce () =
+  (* Drive a hard instance until plenty of clauses are learnt, then force
+     reductions and collections and re-check the watcher/arena invariants
+     and the solver's answers. *)
+  let cnf = php 7 6 in
+  let s = solver_of cnf in
+  check_invariants "after load" s;
+  check_bool "php 7/6 unsat" true (Solver.solve s = Solver.Unsat);
+  let st = Solver.stats s in
+  check_bool "learnt something" true (Stats.get st "learnt" > 0);
+  Solver.dbg_reduce_db s;
+  check_invariants "after reduce_db" s;
+  Solver.dbg_gc s;
+  check_invariants "after gc" s;
+  check_bool "gc counted" true (Solver.arena_gcs s >= 1);
+  (* A satisfiable instance: reduce + collect mid-enumeration. *)
+  let rng = R.create ~seed:5 in
+  let cnf = Helpers.random_cnf rng ~nvars:12 ~nclauses:30 ~max_len:3 in
+  let s = solver_of cnf in
+  let brute = List.length (Cnf.brute_force_models cnf) in
+  let count = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match Solver.solve s with
+    | Solver.Unsat | Solver.Unknown -> continue := false
+    | Solver.Sat ->
+      incr count;
+      let block =
+        List.init 12 (fun v -> Lit.make v (not (Solver.model_value s v)))
+      in
+      if !count mod 50 = 0 then begin
+        Solver.dbg_reduce_db s;
+        Solver.dbg_gc s;
+        check_invariants "mid-enumeration" s
+      end;
+      if not (Solver.add_clause s block) then continue := false
+  done;
+  check_invariants "after enumeration" s;
+  check_int "enumeration exact across reductions+gcs" brute !count
+
+let test_gc_triggered_by_reduction () =
+  (* One reduction frees roughly half the learnt clauses; the resulting
+     waste must trip the arena's own collection trigger — no dbg_gc. *)
+  let s = solver_of (php 8 7) in
+  ignore (Solver.solve s);
+  check_bool "learnt a lot" true (Solver.n_learnts s > 1000);
+  let words_before = Solver.arena_words s in
+  Solver.dbg_reduce_db s;
+  let st = Solver.stats s in
+  check_bool "clauses deleted" true (Stats.get st "deleted" > 0);
+  check_bool "wasted space tripped a collection" true
+    (Stats.get st "arena_gcs" > 0);
+  check_bool "gc reclaimed words" true (Stats.get st "arena_gc_words" > 0);
+  check_bool "arena shrank" true (Solver.arena_words s < words_before);
+  check_bool "blockers skipped clause visits" true
+    (Stats.get st "blocker_skips" > 0);
+  check_invariants "after reduce+auto-gc" s
+
+let test_activity_rescale () =
+  (* Push var_inc to the rescale threshold; conflicts must rescale all
+     activities without breaking the VSIDS order or the answers. *)
+  let s = solver_of (php 6 5) in
+  Solver.dbg_set_var_inc s 1e99;
+  check_bool "php 6/5 unsat under rescale" true (Solver.solve s = Solver.Unsat);
+  check_invariants "after rescale (unsat)" s;
+  (* The satisfiable side, on a fresh solver. *)
+  let rng = R.create ~seed:11 in
+  let cnf = Helpers.random_cnf rng ~nvars:12 ~nclauses:40 ~max_len:3 in
+  let s2 = solver_of cnf in
+  Solver.dbg_set_var_inc s2 1e99;
+  let sat = Solver.solve s2 = Solver.Sat in
+  check_bool "agrees with brute force" (Cnf.brute_force_sat cnf) sat;
+  if sat then
+    check_bool "model satisfies formula" true (Cnf.eval cnf (Solver.model s2));
+  check_invariants "after rescale (sat)" s2
+
+let test_unknown_resume_across_gc () =
+  (* A budgeted solve stops Unknown with learnt clauses in the arena; a
+     forced collection must preserve them; the resumed solve finishes and
+     agrees with brute force. *)
+  let cnf = php 7 6 in
+  let s = solver_of cnf in
+  let budget = Ps_util.Budget.make ~conflicts:30 () in
+  check_bool "stopped early" true (Solver.solve ~budget s = Solver.Unknown);
+  check_bool "kept learnts" true (Solver.n_learnts s > 0);
+  let learnts_before = Solver.n_learnts s in
+  Solver.dbg_gc s;
+  check_invariants "after gc on paused solver" s;
+  check_int "gc drops no learnts" learnts_before (Solver.n_learnts s);
+  check_bool "resumed to unsat" true (Solver.solve s = Solver.Unsat)
+
 let test_solver_growing_vars () =
   (* variables added between solves are unconstrained and free *)
   let s = Solver.create () in
@@ -172,4 +270,14 @@ let () =
           Alcotest.test_case "wide clauses" `Quick test_wide_clauses;
         ] );
       ("preprocessing", [ simplify_then_solve_agrees ]);
+      ( "arena",
+        [
+          Alcotest.test_case "watcher invariants across reduce/gc" `Quick
+            test_watcher_invariants_after_reduce;
+          Alcotest.test_case "automatic gc under learning" `Quick
+            test_gc_triggered_by_reduction;
+          Alcotest.test_case "activity rescale" `Quick test_activity_rescale;
+          Alcotest.test_case "unknown-resume across gc" `Quick
+            test_unknown_resume_across_gc;
+        ] );
     ]
