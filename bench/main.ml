@@ -80,6 +80,11 @@ let bench_timeout = ref None
 let bench_conflicts = ref None
 let bench_trace = ref Ps_util.Trace.null
 
+(* --jobs N runs the smoke workloads through guiding-path parallel
+   enumeration on N worker domains, and sets the worker count of the
+   "parallel" speedup experiment (default 4 there). *)
+let bench_jobs = ref None
+
 let bench_budget () =
   match (!bench_timeout, !bench_conflicts) with
   | None, None -> None
@@ -551,11 +556,14 @@ type smoke_row = {
   sm_cubes : int;
   sm_conflicts : int;
   sm_propagations : int;
+  sm_jobs : int;        (* worker domains; 1 = plain sequential run *)
+  sm_speedup : float;   (* sequential time / this row's time; 1.0 if n/a *)
 }
 
 let smoke_rows : smoke_row list ref = ref []
 
-let record_smoke ~workload ~engine ~time_s ~solutions ~cubes stats =
+let record_smoke ?(jobs = 1) ?(speedup = 1.0) ~workload ~engine ~time_s
+    ~solutions ~cubes stats =
   smoke_rows :=
     {
       sm_workload = workload;
@@ -565,6 +573,8 @@ let record_smoke ~workload ~engine ~time_s ~solutions ~cubes stats =
       sm_cubes = cubes;
       sm_conflicts = Stats.get stats "conflicts";
       sm_propagations = Stats.get stats "propagations";
+      sm_jobs = jobs;
+      sm_speedup = speedup;
     }
     :: !smoke_rows
 
@@ -579,25 +589,32 @@ let write_json_summary path =
           else 0.0
         in
         Printf.sprintf
-          {|    {"workload":"%s","engine":"%s","time_s":%.6f,"solutions":%g,"cubes":%d,"conflicts":%d,"propagations":%d,"props_per_sec":%.0f}|}
+          {|    {"workload":"%s","engine":"%s","time_s":%.6f,"solutions":%g,"cubes":%d,"conflicts":%d,"propagations":%d,"props_per_sec":%.0f,"jobs":%d,"speedup":%.3f}|}
           r.sm_workload r.sm_engine r.sm_time_s r.sm_solutions r.sm_cubes
-          r.sm_conflicts r.sm_propagations pps
+          r.sm_conflicts r.sm_propagations pps r.sm_jobs r.sm_speedup
       in
-      output_string oc "{\n  \"schema\": \"preimage-bench-smoke/1\",\n  \"rows\": [\n";
+      output_string oc "{\n  \"schema\": \"preimage-bench-smoke/2\",\n  \"rows\": [\n";
       output_string oc
         (String.concat ",\n" (List.rev_map row !smoke_rows));
       output_string oc "\n  ]\n}\n")
 
 let smoke () =
-  (* Circuit workload: every engine on one mid-size instance. *)
+  (* Circuit workload: every engine on one mid-size instance. With
+     --jobs N the runs go through guiding-path parallel enumeration, so
+     the artifact reflects the sharded hot path. *)
   let bits = 10 in
   let c = Ps_gen.Counters.binary ~bits () in
   let inst = I.make c (T.upper_half ~bits) in
   let workload = Printf.sprintf "count%d-upper" bits in
+  let jobs = !bench_jobs in
   List.iter
     (fun m ->
-      let r = run_capped m inst in
-      record_smoke ~workload ~engine:(E.method_name m) ~time_s:r.E.time_s
+      let r =
+        E.run
+          ?budget:(bench_budget ())
+          ~trace:!bench_trace ~limit:blocking_cap ?jobs m inst
+      in
+      record_smoke ?jobs ~workload ~engine:(E.method_name m) ~time_s:r.E.time_s
         ~solutions:r.E.solutions ~cubes:r.E.n_cubes (E.stats r))
     E.all_methods;
   (* DIMACS workload: the Tseitin CNF round-tripped through the DIMACS
@@ -632,13 +649,66 @@ let smoke () =
           r.sm_workload; r.sm_engine; g r.sm_solutions;
           string_of_int r.sm_cubes; string_of_int r.sm_conflicts;
           string_of_int r.sm_propagations; Printf.sprintf "%.0f" pps;
-          ms r.sm_time_s;
+          string_of_int r.sm_jobs; ms r.sm_time_s;
         ])
       !smoke_rows
   in
   print_table "Smoke profile: per-engine throughput"
     [ "workload"; "engine"; "solutions"; "cubes"; "conflicts"; "propagations";
-      "props/sec"; "ms" ]
+      "props/sec"; "jobs"; "ms" ]
+    rows
+
+(* --- parallel speedup: guiding-path sharding vs sequential ------------------- *)
+
+(* Full blocking enumerations whose clause database grows with every
+   emitted cube: sharding keeps each shard's database small, so the
+   speedup here is real even on a single core. Records one sequential
+   row and one jobs-N row per workload (with the measured speedup) in
+   the JSON summary. *)
+let parallel_exp () =
+  let jobs = Option.value !bench_jobs ~default:4 in
+  let entries =
+    [
+      ("count16-upper", Ps_gen.Counters.binary ~bits:16 ());
+      ("lfsr16-upper", Lazy.force (Suite.find "lfsr16").Suite.circuit);
+    ]
+  in
+  let rows =
+    List.map
+      (fun (name, circuit) ->
+        let inst = I.make circuit (T.upper_half ~bits:16) in
+        let seq =
+          E.run ?budget:(bench_budget ()) ~trace:!bench_trace E.Blocking inst
+        in
+        let par =
+          E.run ?budget:(bench_budget ()) ~trace:!bench_trace ~jobs E.Blocking
+            inst
+        in
+        let speedup = seq.E.time_s /. Float.max par.E.time_s 1e-9 in
+        let workload = "parallel-" ^ name in
+        record_smoke ~workload ~engine:"blocking" ~time_s:seq.E.time_s
+          ~solutions:seq.E.solutions ~cubes:seq.E.n_cubes (E.stats seq);
+        record_smoke ~jobs ~speedup ~workload ~engine:"blocking"
+          ~time_s:par.E.time_s ~solutions:par.E.solutions ~cubes:par.E.n_cubes
+          (E.stats par);
+        [
+          name;
+          g seq.E.solutions;
+          ms seq.E.time_s;
+          ms par.E.time_s;
+          string_of_int jobs;
+          string_of_int (Stats.get (E.stats par) "shards");
+          string_of_int (Stats.get (E.stats par) "shard_resplits");
+          f2 speedup;
+          (if seq.E.solutions = par.E.solutions then "yes" else "NO");
+        ])
+      entries
+  in
+  print_table
+    (Printf.sprintf
+       "Parallel: guiding-path sharding, sequential vs %d worker domains" jobs)
+    [ "workload"; "solutions"; "seq_ms"; "par_ms"; "jobs"; "shards";
+      "resplits"; "speedup"; "agree" ]
     rows
 
 (* --- consistency gate --------------------------------------------------------- *)
@@ -769,6 +839,9 @@ let () =
     | "--json" :: path :: rest ->
       json_file := Some path;
       parse_flags acc rest
+    | "--jobs" :: v :: rest ->
+      bench_jobs := Some (int_of_string v);
+      parse_flags acc rest
     | a :: rest -> parse_flags (a :: acc) rest
     | [] -> List.rev acc
   in
@@ -787,6 +860,7 @@ let () =
       ("table4", table4); ("fig1", fig1); ("fig2", fig2); ("fig3", fig3);
       ("fig4", fig4); ("fig5", fig5); ("table5", table5); ("fig6", fig6);
       ("table6", table6); ("fig7", fig7); ("smoke", smoke);
+      ("parallel", parallel_exp);
     ]
   in
   if not (List.mem "notables" args) then begin

@@ -75,7 +75,23 @@ let trace_file_arg =
           "Append structured trace events (restarts, cubes, phases, stop \
            reason) to FILE as JSON lines. See docs/OBSERVABILITY.md.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Guiding-path parallel enumeration on $(i,N) worker domains: the \
+           projection space is split into disjoint prefix shards, each \
+           enumerated in its own solver. The merged result is deterministic \
+           — the same cubes for any $(i,N), including $(b,--jobs 1). \
+           Budgets are enforced globally across all shards.")
+
 let die fmt = Printf.ksprintf (fun s -> prerr_endline ("preimage_cli: " ^ s); exit 2) fmt
+
+let check_jobs = function
+  | Some j when j < 1 -> die "--jobs must be at least 1 (got %d)" j
+  | jobs -> jobs
 
 let make_budget timeout_s conflicts =
   (match timeout_s with
@@ -185,7 +201,10 @@ let preimage_cmd =
                 in the target.")
   in
   let run spec target_spec engine include_inputs limit show_cubes bdd ksteps
-      universal timeout conflict_limit trace_file =
+      universal timeout conflict_limit trace_file jobs =
+    let jobs = check_jobs jobs in
+    if jobs <> None && (ksteps <> None || universal) then
+      die "--jobs is not supported with -k or --universal";
     let circuit = load_circuit spec in
     let target = parse_target circuit target_spec in
     match (ksteps, universal) with
@@ -214,7 +233,8 @@ let preimage_cmd =
     let instance = I.make ~include_inputs circuit target in
     let budget = make_budget timeout conflict_limit in
     let r =
-      with_trace trace_file (fun trace -> E.run ?budget ~trace ?limit engine instance)
+      with_trace trace_file (fun trace ->
+          E.run ?budget ~trace ?limit ?jobs engine instance)
     in
     Format.printf
       "engine=%s solutions=%g cubes=%d%s time=%.4fs sat_calls=%d conflicts=%d@."
@@ -246,7 +266,7 @@ let preimage_cmd =
     Term.(
       const run $ circuit_arg $ target_arg $ engine $ include_inputs $ limit
       $ show_cubes $ bdd $ ksteps $ universal $ timeout_arg $ conflict_limit_arg
-      $ trace_file_arg)
+      $ trace_file_arg $ jobs_arg)
 
 (* --- reach -------------------------------------------------------------- *)
 
@@ -334,7 +354,9 @@ let allsat_cmd =
       value & flag
       & info [ "minimize" ] ~doc:"Post-process the cover (subsumption + merging).")
   in
-  let run file width limit use_lift minimize timeout conflict_limit trace_file =
+  let run file width limit use_lift minimize timeout conflict_limit trace_file
+      jobs =
+    let jobs = check_jobs jobs in
     let cnf, declared =
       try Ps_sat.Dimacs.parse_file_projected file with
       | Ps_sat.Dimacs.Parse_error { line; msg } ->
@@ -360,7 +382,31 @@ let allsat_cmd =
       let budget = make_budget timeout conflict_limit in
       let r =
         with_trace trace_file (fun trace ->
-            Ps_allsat.Blocking.enumerate ~limit ?budget ~trace ?lift solver proj)
+            match jobs with
+            | None ->
+              Ps_allsat.Blocking.enumerate ~limit ?budget ~trace ?lift solver
+                proj
+            | Some jobs ->
+              (* one fresh solver per guiding-path shard, confined to the
+                 shard's prefix by unit clauses *)
+              Ps_allsat.Parallel.run ~jobs ~limit ?budget ~trace ~width:w
+                ~run_shard:(fun ~prefix ~limit ~budget ~trace ->
+                  let s = Ps_sat.Solver.create () in
+                  if not (Ps_sat.Solver.load s cnf) then
+                    {
+                      Ps_allsat.Run.cubes = [];
+                      graph = None;
+                      stats = Ps_util.Stats.create ();
+                      stopped = `Complete;
+                    }
+                  else begin
+                    List.iter
+                      (fun l -> ignore (Ps_sat.Solver.add_clause s [ l ]))
+                      (Ps_allsat.Project.lits_of_cube proj prefix);
+                    Ps_allsat.Blocking.enumerate ?limit ?budget ~trace ?lift s
+                      proj
+                  end)
+                ())
       in
       let cubes = r.Ps_allsat.Run.cubes in
       let cubes = if minimize then Ps_allsat.Cube_set.minimize cubes else cubes in
@@ -377,7 +423,7 @@ let allsat_cmd =
     (Cmd.info "allsat" ~doc:"Enumerate projected solutions of a DIMACS formula")
     Term.(
       const run $ file $ width $ limit $ use_lift $ minimize $ timeout_arg
-      $ conflict_limit_arg $ trace_file_arg)
+      $ conflict_limit_arg $ trace_file_arg $ jobs_arg)
 
 (* --- bmc ------------------------------------------------------------------ *)
 

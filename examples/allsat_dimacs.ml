@@ -7,9 +7,12 @@
    a solution graph to show the compression.
 
    Pass a path to a .cnf file to use your own formula; the projection is
-   then the first min(12, nvars) variables.
+   then the first min(12, nvars) variables. With [--jobs N] the
+   enumeration is sharded over guiding paths and run on N worker
+   domains — the merged solution set is the same, in an order that is
+   deterministic for every N.
 
-   Run with: dune exec examples/allsat_dimacs.exe [-- file.cnf] *)
+   Run with: dune exec examples/allsat_dimacs.exe [-- file.cnf] [-- --jobs 4] *)
 
 module A = Ps_allsat
 
@@ -31,9 +34,19 @@ p cnf 9 12
 |}
 
 let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let jobs, args =
+    let rec go jobs acc = function
+      | "--jobs" :: n :: rest -> go (int_of_string n) acc rest
+      | a :: rest -> go jobs (a :: acc) rest
+      | [] -> (jobs, List.rev acc)
+    in
+    go 1 [] args
+  in
   let cnf =
-    if Array.length Sys.argv > 1 then Ps_sat.Dimacs.parse_file Sys.argv.(1)
-    else Ps_sat.Dimacs.parse_string builtin
+    match args with
+    | file :: _ -> Ps_sat.Dimacs.parse_file file
+    | [] -> Ps_sat.Dimacs.parse_string builtin
   in
   Format.printf "formula: %d variables, %d clauses@." cnf.Ps_sat.Cnf.nvars
     (Ps_sat.Cnf.nclauses cnf);
@@ -44,11 +57,31 @@ let () =
     Format.printf "formula is trivially unsatisfiable@.";
     exit 0
   end;
-  let r = A.Blocking.enumerate ~limit:100_000 solver proj in
-  Format.printf "projected solutions (first %d vars): %d%s, %d SAT calls@."
+  let r =
+    if jobs <= 1 then A.Blocking.enumerate ~limit:100_000 solver proj
+    else
+      (* Guiding-path sharding: each shard gets a fresh solver with the
+         shard prefix added as unit clauses; shards cannot overlap, so
+         the merged cubes cover exactly the sequential solution set. *)
+      A.Parallel.run ~jobs ~limit:100_000 ~width
+        ~run_shard:(fun ~prefix ~limit ~budget ~trace ->
+          let s = Ps_sat.Solver.create () in
+          if not (Ps_sat.Solver.load s cnf) then
+            { A.Run.cubes = []; graph = None;
+              stats = Ps_util.Stats.create (); stopped = `Complete }
+          else begin
+            List.iter
+              (fun lit -> ignore (Ps_sat.Solver.add_clause s [ lit ]))
+              (A.Project.lits_of_cube proj prefix);
+            A.Blocking.enumerate ?limit ?budget ~trace s proj
+          end)
+        ()
+  in
+  Format.printf "projected solutions (first %d vars): %d%s, %d SAT calls%s@."
     width (List.length r.A.Run.cubes)
     (if A.Run.complete r then "" else " (limit hit)")
-    (A.Blocking.sat_calls r);
+    (A.Blocking.sat_calls r)
+    (if jobs > 1 then Printf.sprintf " (%d worker domains)" jobs else "");
   let man = A.Solution_graph.new_man ~width in
   let g = A.Blocking.to_graph man r in
   Format.printf "as a solution graph: %d nodes for %g solutions@."

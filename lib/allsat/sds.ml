@@ -39,7 +39,7 @@ type result = Run.t
 let tri_char = function G.F -> '0' | G.T -> '1' | G.X -> 'x'
 
 let search ?(config = default_config) ?limit ?budget ?(trace = Trace.null)
-    ~netlist ~root ~proj_nets ~solver () =
+    ?prefix ~netlist ~root ~proj_nets ~solver () =
   let n = Array.length proj_nets in
   let nnets = N.num_nets netlist in
   Array.iter
@@ -226,7 +226,35 @@ let search ?(config = default_config) ?limit ?budget ?(trace = Trace.null)
           node)
     end
   in
-  let graph = go 0 in
+  (* A guiding-path prefix confines the whole search to one disjoint
+     subcube of the projection space: the prefix positions are seeded
+     into the ternary environment and the assumption stack exactly as if
+     [branch] had decided them, and the recursion starts below them. The
+     returned graph therefore only holds paths over the remaining
+     positions — {!Parallel} re-attaches the prefix at merge time. *)
+  let start_depth =
+    match prefix with
+    | None -> 0
+    | Some p ->
+      if Cube.width p <> n then invalid_arg "Sds.search: prefix width mismatch";
+      let lits = Cube.to_list p in
+      List.iteri
+        (fun i (pos, _) ->
+          if pos <> i then
+            invalid_arg
+              "Sds.search: prefix must fix a contiguous run of leading \
+               positions")
+        lits;
+      List.iter
+        (fun (pos, v) ->
+          let net = proj_nets.(pos) in
+          env.(net) <- (if v then G.T else G.F);
+          assumption_stack :=
+            (if v then Lit.pos net else Lit.neg net) :: !assumption_stack)
+        lits;
+      List.length lits
+  in
+  let graph = go start_depth in
   let stopped = match !stop with Some s -> s | None -> `Complete in
   Stats.add stats "search_nodes" !n_search_nodes;
   Stats.add stats "memo_hits" !n_memo_hits;

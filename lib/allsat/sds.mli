@@ -85,12 +85,22 @@ type result = Run.t
     later complete run.
 
     [trace] receives [Memo_hit] events, the solver's events, and a
-    final [Stopped] event. *)
+    final [Stopped] event.
+
+    [prefix] is a guiding path: a cube fixing a contiguous run of
+    leading projection positions. The search is confined to that
+    subcube — prefix positions are pre-decided (ternary environment +
+    solver assumptions) and the result graph's paths run over the
+    remaining positions only (the prefix bits are {e not} repeated in
+    the emitted cubes; {!Parallel} re-attaches them at merge). Raises
+    [Invalid_argument] if the fixed positions are not exactly
+    [0..d-1]. *)
 val search :
   ?config:config ->
   ?limit:int ->
   ?budget:Ps_util.Budget.t ->
   ?trace:Ps_util.Trace.sink ->
+  ?prefix:Cube.t ->
   netlist:Ps_circuit.Netlist.t ->
   root:int ->
   proj_nets:int array ->

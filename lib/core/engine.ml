@@ -102,15 +102,77 @@ let run_blocking ?limit ?budget ~trace ~lift instance =
     time_s;
   }
 
-let run ?budget ?(trace = Trace.null) ?limit method_ instance =
+(* Guiding-path sharding: every shard builds a fresh solver for the same
+   instance, confined to its prefix cube. The SDS engines take the prefix
+   natively (ternary seeding + assumptions — unit clauses alone would be
+   unsound for them, the simulator would not see them); the blocking
+   engines take it as unit clauses, which also keeps each shard's
+   blocking-clause database limited to its own subspace — the main
+   single-core win of sharding a blocking enumeration. *)
+let shard_runner ~method_ instance ~prefix ~limit ~budget ~trace =
+  let solver = Instance.solver instance in
+  match sds_variant method_ with
+  | Some variant ->
+    A.Sds.search
+      ~config:(A.Sds.config variant)
+      ?limit ?budget ~trace ~prefix ~netlist:instance.Instance.augmented
+      ~root:instance.Instance.root ~proj_nets:instance.Instance.proj_nets
+      ~solver ()
+  | None ->
+    let proj = instance.Instance.proj in
+    List.iter
+      (fun lit -> ignore (Ps_sat.Solver.add_clause solver [ lit ]))
+      (A.Project.lits_of_cube proj prefix);
+    let lift_fn =
+      if method_ = BlockingLift then Some (Instance.lift instance) else None
+    in
+    A.Blocking.enumerate ?limit ?budget ~trace ?lift:lift_fn solver proj
+
+let run_parallel ~jobs ?split_depth ?resplit_threshold ?limit ?budget ~trace
+    ~method_ instance =
+  let width = A.Project.width instance.Instance.proj in
+  let t0 = now () in
+  let r =
+    A.Parallel.run ~jobs ?split_depth ?resplit_threshold ?limit ?budget ~trace
+      ~width
+      ~run_shard:(shard_runner ~method_ instance)
+      ()
+  in
+  let time_s = now () -. t0 in
+  let cubes = r.Run.cubes in
+  let solutions =
+    (* Re-anchored cubes are pairwise disjoint except for lifted ones,
+       which may overlap within a shard. *)
+    match method_ with
+    | BlockingLift -> solution_count_of_cubes width cubes
+    | Sds | SdsDynamic | SdsNoMemo | Blocking ->
+      List.fold_left (fun acc c -> acc +. A.Cube.minterm_count c) 0.0 cubes
+  in
+  {
+    method_;
+    run = r;
+    solutions;
+    n_cubes = List.length cubes;
+    graph_nodes = None;
+    time_s;
+  }
+
+let run ?budget ?(trace = Trace.null) ?limit ?jobs ?split_depth
+    ?resplit_threshold method_ instance =
   if not (Trace.is_null trace) then
     Trace.emit trace
       (Trace.Phase { engine = method_name method_; phase = "start" });
   let r =
-    match method_ with
-    | Sds | SdsDynamic | SdsNoMemo -> run_sds ?limit ?budget ~trace ~method_ instance
-    | Blocking -> run_blocking ?limit ?budget ~trace ~lift:false instance
-    | BlockingLift -> run_blocking ?limit ?budget ~trace ~lift:true instance
+    match jobs with
+    | Some jobs ->
+      run_parallel ~jobs ?split_depth ?resplit_threshold ?limit ?budget ~trace
+        ~method_ instance
+    | None -> (
+      match method_ with
+      | Sds | SdsDynamic | SdsNoMemo ->
+        run_sds ?limit ?budget ~trace ~method_ instance
+      | Blocking -> run_blocking ?limit ?budget ~trace ~lift:false instance
+      | BlockingLift -> run_blocking ?limit ?budget ~trace ~lift:true instance)
   in
   if not (Trace.is_null trace) then
     Trace.emit trace

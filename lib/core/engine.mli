@@ -66,11 +66,28 @@ val complete : result -> bool
 
     [trace] observes the run: engine [Phase] markers, solver restarts
     and reductions, per-cube and memo-hit events, and a final
-    [Stopped] — see {!Ps_util.Trace} and docs/OBSERVABILITY.md. *)
+    [Stopped] — see {!Ps_util.Trace} and docs/OBSERVABILITY.md.
+
+    [jobs] switches to guiding-path parallel enumeration
+    ({!Ps_allsat.Parallel}): the projection space is split into
+    disjoint prefix shards, each enumerated by [method_] on a fresh
+    solver, on a pool of [jobs] worker domains. The merged result is
+    deterministic — independent of [jobs] (including [jobs = 1], which
+    runs the same shard tree inline) — and [budget] is enforced
+    globally across all shards. The merged run carries no solution
+    graph, so [graph_nodes] is [None] even for the SDS methods;
+    [trace] additionally receives per-shard [Shard_start] /
+    [Shard_done] events. [split_depth] (default [min width 4]) and
+    [resplit_threshold] tune the initial partition and the dynamic
+    re-splitting; omitting [jobs] runs the classic sequential path
+    (no sharding at all). *)
 val run :
   ?budget:Ps_util.Budget.t ->
   ?trace:Ps_util.Trace.sink ->
   ?limit:int ->
+  ?jobs:int ->
+  ?split_depth:int ->
+  ?resplit_threshold:int ->
   method_ ->
   Instance.t ->
   result

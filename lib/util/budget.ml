@@ -1,5 +1,11 @@
 type stop = [ `Deadline | `Conflicts | `Decisions | `Propagations | `Cancelled ]
 
+(* All mutable accounting is [Atomic.t] so one budget can be shared by
+   solver instances running on several domains: workers charge their own
+   consumption, every domain observes the same sticky stop reason, and
+   whichever worker exhausts the budget first stops the rest through the
+   shared state. On a single domain the atomics cost one uncontended
+   fetch-and-add per charge — noise next to a CDCL conflict. *)
 type t = {
   deadline : float option;           (* absolute gettimeofday instant *)
   max_conflicts : int option;
@@ -7,24 +13,38 @@ type t = {
   max_propagations : int option;
   cancel : (unit -> bool) option;
   limited : bool;
-  mutable conflicts : int;
-  mutable decisions : int;
-  mutable propagations : int;
-  mutable polls : int;
-  mutable stop : stop option;
+  conflicts : int Atomic.t;
+  decisions : int Atomic.t;
+  propagations : int Atomic.t;
+  polls : int Atomic.t;
+  stop : stop option Atomic.t;
 }
+
+type cancel_flag = bool Atomic.t
+
+let cancel_flag () = Atomic.make false
+let cancel flag = Atomic.set flag true
+let cancel_requested flag = Atomic.get flag
 
 (* Deadline / cancellation are polled once per [poll_grain] checks; the
    discrete limits are exact. *)
 let poll_grain = 16
 
-let make ?timeout_s ?conflicts ?decisions ?propagations ?cancel () =
+let make ?timeout_s ?conflicts ?decisions ?propagations ?cancel ?cancel_with
+    () =
   let deadline =
     match timeout_s with
     | None -> None
     | Some s ->
       if s < 0.0 then invalid_arg "Budget.make: negative timeout";
       Some (Unix.gettimeofday () +. s)
+  in
+  let cancel =
+    match (cancel, cancel_with) with
+    | Some _, Some _ -> invalid_arg "Budget.make: both cancel and cancel_with"
+    | Some f, None -> Some f
+    | None, Some flag -> Some (fun () -> Atomic.get flag)
+    | None, None -> None
   in
   let limited =
     deadline <> None || conflicts <> None || decisions <> None
@@ -37,25 +57,29 @@ let make ?timeout_s ?conflicts ?decisions ?propagations ?cancel () =
     max_propagations = propagations;
     cancel;
     limited;
-    conflicts = 0;
-    decisions = 0;
-    propagations = 0;
-    polls = 0;
-    stop = None;
+    conflicts = Atomic.make 0;
+    decisions = Atomic.make 0;
+    propagations = Atomic.make 0;
+    polls = Atomic.make 0;
+    stop = Atomic.make None;
   }
 
 let unlimited () = make ()
 
 let is_limited t = t.limited
 
-let tick_conflict t = t.conflicts <- t.conflicts + 1
-let charge_decisions t n = t.decisions <- t.decisions + n
-let charge_propagations t n = t.propagations <- t.propagations + n
+let tick_conflict t = Atomic.incr t.conflicts
+let charge_decisions t n = ignore (Atomic.fetch_and_add t.decisions n)
+let charge_propagations t n = ignore (Atomic.fetch_and_add t.propagations n)
 
 let over limit spent = match limit with Some l -> spent >= l | None -> false
 
+(* First writer wins: every later check (from any domain) returns the
+   same reason. *)
+let record_stop t s = ignore (Atomic.compare_and_set t.stop None (Some s))
+
 let check t =
-  match t.stop with
+  match Atomic.get t.stop with
   | Some _ as s -> s
   | None ->
     if not t.limited then None
@@ -64,12 +88,14 @@ let check t =
          deterministic, so a conflict-budgeted rerun stops identically
          even if the clock would also have fired. *)
       let s =
-        if over t.max_conflicts t.conflicts then Some `Conflicts
-        else if over t.max_decisions t.decisions then Some `Decisions
-        else if over t.max_propagations t.propagations then Some `Propagations
+        if over t.max_conflicts (Atomic.get t.conflicts) then Some `Conflicts
+        else if over t.max_decisions (Atomic.get t.decisions) then
+          Some `Decisions
+        else if over t.max_propagations (Atomic.get t.propagations) then
+          Some `Propagations
         else begin
-          t.polls <- t.polls + 1;
-          if t.polls land (poll_grain - 1) <> 0 then None
+          let polls = 1 + Atomic.fetch_and_add t.polls 1 in
+          if polls land (poll_grain - 1) <> 0 then None
           else if
             match t.deadline with
             | Some d -> Unix.gettimeofday () >= d
@@ -80,15 +106,15 @@ let check t =
           else None
         end
       in
-      (match s with Some _ -> t.stop <- s | None -> ());
-      s
+      (match s with Some s -> record_stop t s | None -> ());
+      Atomic.get t.stop
     end
 
-let stopped t = t.stop
+let stopped t = Atomic.get t.stop
 
-let conflicts_spent t = t.conflicts
-let decisions_spent t = t.decisions
-let propagations_spent t = t.propagations
+let conflicts_spent t = Atomic.get t.conflicts
+let decisions_spent t = Atomic.get t.decisions
+let propagations_spent t = Atomic.get t.propagations
 
 let time_left t =
   match t.deadline with

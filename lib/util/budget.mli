@@ -8,10 +8,18 @@
     every layer observes the same sticky {!stop} reason and unwinds with
     a partial result instead of raising.
 
-    Accounting is deterministic for the discrete resources: two runs of
-    the same deterministic search with the same conflict budget stop at
-    exactly the same point. Only the wall-clock deadline depends on the
-    machine.
+    Budgets are {e domain-safe}: all accounting is [Atomic.t], so one
+    budget may be shared by solver instances running on several OCaml 5
+    domains (this is how {!Ps_allsat.Parallel} enforces one global limit
+    across all shards). The first domain to exhaust a resource records
+    the stop reason; every other domain observes it on its next
+    {!check} and unwinds too.
+
+    Accounting is deterministic for the discrete resources on a single
+    domain: two runs of the same deterministic search with the same
+    conflict budget stop at exactly the same point. Only the wall-clock
+    deadline depends on the machine, and multi-domain runs interleave
+    charges nondeterministically.
 
     A budget is single-use: create one per run ({!make} / {!unlimited}),
     thread it through, then read {!stopped}. *)
@@ -20,6 +28,22 @@
 type stop = [ `Deadline | `Conflicts | `Decisions | `Propagations | `Cancelled ]
 
 type t
+
+(** An [Atomic.t]-backed cancellation flag, safe to trip from any domain
+    (or from a signal handler). This replaces the
+    closure-over-[bool ref] idiom, which has no synchronization and is
+    unsound when the budget is polled from worker domains. *)
+type cancel_flag
+
+(** A fresh, untripped flag. *)
+val cancel_flag : unit -> cancel_flag
+
+(** [cancel flag] trips the flag: every budget created with
+    [~cancel_with:flag] stops with [`Cancelled] at its next poll. *)
+val cancel : cancel_flag -> unit
+
+(** [cancel_requested flag] reads the flag without touching any budget. *)
+val cancel_requested : cancel_flag -> bool
 
 (** [make ()] builds a budget. All limits are optional and combine;
     whichever is exhausted first wins.
@@ -30,15 +54,21 @@ type t
       batch of decisions).
     - [conflicts] / [decisions] / [propagations]: total counts charged
       via the [tick_*]/[charge_*] functions, across {e all} solver
-      calls sharing this budget.
+      calls sharing this budget — including calls running on other
+      domains.
     - [cancel]: polled on every {!check}; return [true] to stop the run
-      cooperatively (e.g. wired to a signal handler's flag). *)
+      cooperatively. The closure must be safe to call from any domain
+      that polls the budget — when in doubt, use [cancel_with].
+    - [cancel_with]: a {!cancel_flag} polled the same way; the
+      domain-safe replacement for closing [cancel] over a mutable bool.
+      At most one of [cancel] / [cancel_with] may be given. *)
 val make :
   ?timeout_s:float ->
   ?conflicts:int ->
   ?decisions:int ->
   ?propagations:int ->
   ?cancel:(unit -> bool) ->
+  ?cancel_with:cancel_flag ->
   unit ->
   t
 
@@ -49,17 +79,17 @@ val unlimited : unit -> t
     lets hot loops skip the bookkeeping entirely. *)
 val is_limited : t -> bool
 
-(** Charge consumed resources. Cheap (one integer add). *)
+(** Charge consumed resources. Cheap (one atomic fetch-and-add). *)
 val tick_conflict : t -> unit
 
 val charge_decisions : t -> int -> unit
 val charge_propagations : t -> int -> unit
 
 (** [check t] — has the budget run out? The first exhausted resource is
-    recorded and returned on every subsequent call (sticky), so all
-    layers agree on the stop reason. Deadline and cancellation are
-    polled at most once per [poll_grain] calls (currently 16) to keep
-    [check] cheap inside tight loops. *)
+    recorded and returned on every subsequent call (sticky, across all
+    domains), so all layers agree on the stop reason. Deadline and
+    cancellation are polled at most once per [poll_grain] calls
+    (currently 16) to keep [check] cheap inside tight loops. *)
 val check : t -> stop option
 
 (** The sticky stop reason, without polling anything. *)

@@ -56,6 +56,15 @@ let merge ~into src =
       r := !r +. v)
     (timers src)
 
+(* Cross-domain summation: each worker domain owns its private Stats and
+   only the spawning domain sums them after the workers have been joined
+   (Domain.join establishes the happens-before edge), so the plain-ref
+   counters never race. *)
+let sum ts =
+  let acc = create () in
+  List.iter (fun t -> merge ~into:acc t) ts;
+  acc
+
 let pp ppf t =
   let pp_counter ppf (k, v) = Format.fprintf ppf "%s=%d" k v in
   let pp_timer ppf (k, v) = Format.fprintf ppf "%s=%.3fs" k v in

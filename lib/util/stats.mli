@@ -36,4 +36,13 @@ val timers : t -> (string * float) list
 (** [merge ~into src] adds all of [src]'s counters and timers into [into]. *)
 val merge : into:t -> t -> unit
 
+(** [sum ts] is a fresh bag holding the element-wise sum of [ts].
+
+    A [Stats.t] is {e not} internally synchronized: the multicore
+    discipline is one private bag per worker domain, summed by the
+    spawning domain {e after} [Domain.join] (which provides the
+    happens-before edge). {!Ps_allsat.Parallel} merges per-shard stats
+    this way. *)
+val sum : t list -> t
+
 val pp : Format.formatter -> t -> unit

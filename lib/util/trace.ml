@@ -7,6 +7,13 @@ type event =
   | Memo_hit of { depth : int; hits : int }
   | Phase of { engine : string; phase : string }
   | Progress of { cubes : int; nodes : int; conflicts : int }
+  | Shard_start of { shard : string; depth : int }
+  | Shard_done of {
+      shard : string;
+      cubes : int;
+      conflicts : int;
+      stopped : string;
+    }
   | Stopped of { reason : string }
 
 let event_name = function
@@ -18,6 +25,8 @@ let event_name = function
   | Memo_hit _ -> "memo_hit"
   | Phase _ -> "phase"
   | Progress _ -> "progress"
+  | Shard_start _ -> "shard_start"
+  | Shard_done _ -> "shard_done"
   | Stopped _ -> "stopped"
 
 (* The only strings we embed are engine/phase/result names and stop
@@ -60,6 +69,11 @@ let to_json ~time_s ev =
     | Progress { cubes; nodes; conflicts } ->
       Printf.sprintf {|"cubes":%d,"nodes":%d,"conflicts":%d|} cubes nodes
         conflicts
+    | Shard_start { shard; depth } ->
+      Printf.sprintf {|"shard":%s,"depth":%d|} (json_string shard) depth
+    | Shard_done { shard; cubes; conflicts; stopped } ->
+      Printf.sprintf {|"shard":%s,"cubes":%d,"conflicts":%d,"stopped":%s|}
+        (json_string shard) cubes conflicts (json_string stopped)
     | Stopped { reason } -> Printf.sprintf {|"reason":%s|} (json_string reason)
   in
   Printf.sprintf {|{"t":%.6f,"ev":%s,%s}|} time_s
@@ -108,3 +122,15 @@ let tee a b =
   match (a, b) with
   | Null, s | s, Null -> s
   | Sink _, Sink _ -> callback (fun ~time_s:_ ev -> emit a ev; emit b ev)
+
+(* Serializes concurrent emissions with a mutex so one sink (e.g. a JSONL
+   channel) can be shared by worker domains without interleaved writes.
+   Timestamps come from the wrapped sink's own epoch. *)
+let locked sink =
+  match sink with
+  | Null -> Null
+  | Sink _ ->
+    let m = Mutex.create () in
+    callback (fun ~time_s:_ ev ->
+        Mutex.lock m;
+        Fun.protect ~finally:(fun () -> Mutex.unlock m) (fun () -> emit sink ev))

@@ -30,6 +30,19 @@ type event =
       (** engine phase marker, e.g. ["sds"]/["start"] *)
   | Progress of { cubes : int; nodes : int; conflicts : int }
       (** periodic heartbeat from the enumeration engines *)
+  | Shard_start of { shard : string; depth : int }
+      (** a parallel worker picked up a guiding-path shard ([shard] is
+          the prefix cube in positional notation, [depth] its number of
+          fixed split positions) *)
+  | Shard_done of {
+      shard : string;
+      cubes : int;
+      conflicts : int;
+      stopped : string;
+    }
+      (** a shard's enumeration finished: cubes found, SAT conflicts
+          spent, and the shard's own stop reason (["resplit"] when the
+          shard was split further instead of kept) *)
   | Stopped of { reason : string }
       (** why the run ended (a {!Budget.stop} name or ["complete"]) *)
 
@@ -66,5 +79,11 @@ val throttled : ?interval_s:float -> (time_s:float -> event -> unit) -> sink
 
 (** [tee a b] duplicates every event to both sinks. *)
 val tee : sink -> sink -> sink
+
+(** [locked s] serializes emissions into [s] with a mutex, making one
+    sink shareable by several worker domains (JSONL lines never
+    interleave). The null sink stays null — locking is only paid when
+    tracing is on. *)
+val locked : sink -> sink
 
 val emit : sink -> event -> unit

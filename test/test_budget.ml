@@ -113,10 +113,12 @@ let test_exhausted_budget_is_unknown_upfront () =
 (* --- cancellation --------------------------------------------------------- *)
 
 let test_cancel_flag () =
-  let flag = ref false in
-  let b = Budget.make ~cancel:(fun () -> !flag) () in
+  let flag = Budget.cancel_flag () in
+  let b = Budget.make ~cancel_with:flag () in
   check_bool "live before cancel" true (Budget.check b = None);
-  flag := true;
+  check_bool "not requested yet" false (Budget.cancel_requested flag);
+  Budget.cancel flag;
+  check_bool "requested" true (Budget.cancel_requested flag);
   (* the flag is polled at most once per polling grain *)
   let rec poll n =
     match Budget.check b with
@@ -124,7 +126,15 @@ let test_cancel_flag () =
     | None -> if n = 0 then None else poll (n - 1)
   in
   check_bool "cancelled" true (poll 64 = Some `Cancelled);
-  check_bool "sticky" true (Budget.stopped b = Some `Cancelled)
+  check_bool "sticky" true (Budget.stopped b = Some `Cancelled);
+  (* a budget takes at most one cancellation source *)
+  match
+    Budget.make
+      ~cancel:(fun () -> false)
+      ~cancel_with:(Budget.cancel_flag ()) ()
+  with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
 
 let test_blocking_cancel_mid_run () =
   let c = Ps_gen.Counters.binary ~bits:16 () in

@@ -1,0 +1,193 @@
+(* Differential all-SAT oracle suite.
+
+   Hundreds of seeded random instances, two families:
+
+   - random sequential netlists (Ps_gen.Random_seq) turned into preimage
+     instances: all five SAT engines plus the BDD baseline must agree
+     (BDD equality via Check.engines_agree), match the brute-force
+     truth-table oracle when the cone is small enough, and produce the
+     same canonicalized (minterm-expanded) solution set;
+
+   - random CNF / projection pairs (Ps_util.Rng-driven): blocking
+     enumeration — sequential and guiding-path parallel — against a
+     brute-force truth-table enumerator over all total assignments.
+
+   Every check message carries the instance seed, so a failure is
+   reproducible in isolation. Set PS_DIFF_LONG=1 for the extended sweep
+   (more seeds, bigger cones). *)
+
+module I = Preimage.Instance
+module E = Preimage.Engine
+module Ch = Preimage.Check
+module A = Ps_allsat
+module Cube = A.Cube
+module Cnf = Ps_sat.Cnf
+module Solver = Ps_sat.Solver
+module R = Ps_util.Rng
+
+let long = Sys.getenv_opt "PS_DIFF_LONG" <> None
+
+let n_circuit_seeds = if long then 360 else 120
+let n_cnf_seeds = if long then 240 else 80
+
+(* Canonical solution set: sorted minterm strings over the projection. *)
+let minterm_set width cubes =
+  let tbl = Hashtbl.create 256 in
+  List.iter
+    (fun c ->
+      Cube.iter_minterms c (fun bits ->
+          let s =
+            String.init width (fun i -> if bits.(i) then '1' else '0')
+          in
+          Hashtbl.replace tbl s ()))
+    cubes;
+  List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) tbl [])
+
+(* --- random netlist family --------------------------------------------- *)
+
+let random_target rng ~bits =
+  let ncubes = 1 + R.int rng 2 in
+  List.init ncubes (fun _ ->
+      let c = ref (Cube.make bits) in
+      for i = 0 to bits - 1 do
+        (* fix with probability 3/4: loose enough for many solutions,
+           tight enough for structure *)
+        match R.int rng 4 with
+        | 0 -> ()
+        | k ->
+          c :=
+            Cube.set !c i (if k land 1 = 1 then Cube.True else Cube.False)
+      done;
+      !c)
+
+let circuit_instance seed =
+  let rng = R.create ~seed:(0x5EED + seed) in
+  let n_inputs = 2 + R.int rng 3 in
+  let n_latches = 3 + R.int rng 3 in
+  let spec =
+    {
+      Ps_gen.Random_seq.n_inputs;
+      n_latches;
+      n_gates = 10 + R.int rng (if long then 50 else 25);
+      max_arity = 3;
+      xor_share = 0.2;
+      seed = (seed * 7919) + 11;
+    }
+  in
+  let circuit = Ps_gen.Random_seq.generate spec in
+  let target = random_target rng ~bits:n_latches in
+  let include_inputs = R.int rng 3 = 0 in
+  let negate = R.int rng 4 = 0 in
+  I.make ~include_inputs ~negate circuit target
+
+let run_circuit_seed seed =
+  let inst = circuit_instance seed in
+  let width = A.Project.width inst.I.proj in
+  let results = List.map (fun m -> E.run m inst) E.all_methods in
+  (* BDD-equality across all five engines + the BDD baseline *)
+  (match Ch.engines_agree inst results with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "circuit seed %d: %s" seed msg);
+  (* exhaustive truth-table oracle (states-only projections) *)
+  if not inst.I.include_inputs then
+    List.iter
+      (fun r ->
+        if not (Ch.matches_brute_force inst r) then
+          Alcotest.failf "circuit seed %d: %s disagrees with brute force" seed
+            (E.method_name r.E.method_))
+      results;
+  (* canonicalized cube sets agree cube-for-minterm, not just as BDDs *)
+  let reference = minterm_set width (E.cubes (List.hd results)) in
+  List.iter
+    (fun r ->
+      if minterm_set width (E.cubes r) <> reference then
+        Alcotest.failf "circuit seed %d: %s minterm set differs from %s" seed
+          (E.method_name r.E.method_)
+          (E.method_name (List.hd results).E.method_))
+    results;
+  (* guiding-path parallel agrees with sequential for a sample method *)
+  let method_ = List.nth E.all_methods (seed mod List.length E.all_methods) in
+  let par = E.run ~jobs:2 method_ inst in
+  if minterm_set width (E.cubes par) <> reference then
+    Alcotest.failf "circuit seed %d: parallel %s minterm set differs" seed
+      (E.method_name method_)
+
+let test_circuits () =
+  for seed = 0 to n_circuit_seeds - 1 do
+    run_circuit_seed seed
+  done
+
+(* --- random CNF family -------------------------------------------------- *)
+
+let cnf_instance seed =
+  let rng = R.create ~seed:(0xC4F + seed) in
+  let nvars = 4 + R.int rng (if long then 8 else 6) in
+  let nclauses = nvars + R.int rng (2 * nvars) in
+  let cnf = Helpers.random_cnf rng ~nvars ~nclauses ~max_len:3 in
+  let k = 1 + R.int rng nvars in
+  let vars = Array.init nvars (fun v -> v) in
+  R.shuffle rng vars;
+  (cnf, A.Project.of_vars (Array.sub vars 0 k))
+
+let brute_force_projected cnf proj =
+  let tbl = Hashtbl.create 256 in
+  List.iter
+    (fun model ->
+      Hashtbl.replace tbl
+        (Cube.to_string (A.Project.cube_of_model proj model))
+        ())
+    (Cnf.brute_force_models cnf);
+  List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) tbl [])
+
+let enumerate_cnf ?jobs cnf proj =
+  let fresh_solver () =
+    let s = Solver.create () in
+    ignore (Solver.load s cnf);
+    s
+  in
+  match jobs with
+  | None -> A.Blocking.enumerate (fresh_solver ()) proj
+  | Some jobs ->
+    A.Parallel.run ~jobs ~width:(A.Project.width proj)
+      ~run_shard:(fun ~prefix ~limit ~budget ~trace ->
+        let s = fresh_solver () in
+        List.iter
+          (fun lit -> ignore (Solver.add_clause s [ lit ]))
+          (A.Project.lits_of_cube proj prefix);
+        A.Blocking.enumerate ?limit ?budget ~trace s proj)
+      ()
+
+let run_cnf_seed seed =
+  let cnf, proj = cnf_instance seed in
+  let width = A.Project.width proj in
+  let oracle = brute_force_projected cnf proj in
+  let seq = enumerate_cnf cnf proj in
+  if seq.A.Run.stopped <> `Complete then
+    Alcotest.failf "cnf seed %d: sequential run not complete" seed;
+  if minterm_set width seq.A.Run.cubes <> oracle then
+    Alcotest.failf "cnf seed %d: blocking differs from truth table" seed;
+  let par = enumerate_cnf ~jobs:2 cnf proj in
+  if par.A.Run.stopped <> `Complete then
+    Alcotest.failf "cnf seed %d: parallel run not complete" seed;
+  if minterm_set width par.A.Run.cubes <> oracle then
+    Alcotest.failf "cnf seed %d: parallel blocking differs from truth table"
+      seed
+
+let test_cnfs () =
+  for seed = 0 to n_cnf_seeds - 1 do
+    run_cnf_seed seed
+  done
+
+let () =
+  Alcotest.run "differential"
+    [
+      ( "oracle",
+        [
+          Alcotest.test_case
+            (Printf.sprintf "random netlists (%d seeds)" n_circuit_seeds)
+            `Quick test_circuits;
+          Alcotest.test_case
+            (Printf.sprintf "random cnf/projection (%d seeds)" n_cnf_seeds)
+            `Quick test_cnfs;
+        ] );
+    ]
