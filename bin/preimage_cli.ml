@@ -277,13 +277,34 @@ let reach_cmd =
       | "sds-dynamic" -> Ok R.E_sds_dynamic
       | "blocking-lift" -> Ok R.E_blocking_lift
       | "bdd" -> Ok R.E_bdd
+      | "incremental" -> Ok R.E_incremental
       | s -> Error (`Msg (Printf.sprintf "unknown engine %S" s))
     in
     Arg.(
       value
       & opt (Arg.conv (parse, fun ppf e -> Format.pp_print_string ppf (R.engine_name e))) R.E_sds
       & info [ "e"; "engine" ] ~docv:"ENGINE"
-          ~doc:"$(b,sds) (default), $(b,sds-dynamic), $(b,blocking-lift), or $(b,bdd).")
+          ~doc:"$(b,sds) (default), $(b,sds-dynamic), $(b,blocking-lift), \
+                $(b,bdd), or $(b,incremental).")
+  in
+  let incremental =
+    Arg.(
+      value & flag
+      & info [ "incremental" ]
+          ~doc:
+            "Incremental session: build the transition CNF once and keep one \
+             solver (and its learnt clauses) across all fixpoint frames. \
+             Shorthand for $(b,--engine incremental).")
+  in
+  let trace_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-file" ] ~docv:"FILE"
+          ~doc:
+            "Append structured trace events (one frame_start/frame_done pair \
+             per fixpoint frame, plus solver events) to FILE as JSON lines. \
+             See docs/OBSERVABILITY.md.")
   in
   let max_steps =
     Arg.(value & opt int 1000 & info [ "max-steps" ] ~docv:"N" ~doc:"Step cap.")
@@ -297,10 +318,13 @@ let reach_cmd =
             "After the fixpoint, extract a witness input trace from this \
              state (0/1 string, state bit 0 first).")
   in
-  let run spec target_spec engine max_steps trace_from =
+  let run spec target_spec engine incremental max_steps trace_from trace_file =
     let circuit = load_circuit spec in
     let target = parse_target circuit target_spec in
-    let r = R.backward ~engine ~max_steps circuit target in
+    let r =
+      with_trace trace_file (fun trace ->
+          R.backward ~engine ~incremental ~max_steps ~trace circuit target)
+    in
     Format.printf "engine=%s steps=%d total_states=%g fixpoint=%b time=%.3fs@."
       (R.engine_name r.R.engine) (List.length r.R.steps) r.R.total_states
       r.R.fixpoint r.R.time_s;
@@ -326,7 +350,9 @@ let reach_cmd =
   in
   Cmd.v
     (Cmd.info "reach" ~doc:"Backward-reachability fixpoint")
-    Term.(const run $ circuit_arg $ target_arg $ engine $ max_steps $ trace_from)
+    Term.(
+      const run $ circuit_arg $ target_arg $ engine $ incremental $ max_steps
+      $ trace_from $ trace_file)
 
 (* --- allsat -------------------------------------------------------------- *)
 

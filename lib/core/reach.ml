@@ -2,13 +2,14 @@ module B = Ps_bdd.Bdd
 module Cube = Ps_allsat.Cube
 module T = Ps_circuit.Transition
 
-type engine = E_sds | E_sds_dynamic | E_blocking_lift | E_bdd
+type engine = E_sds | E_sds_dynamic | E_blocking_lift | E_bdd | E_incremental
 
 let engine_name = function
   | E_sds -> "sds"
   | E_sds_dynamic -> "sds-dynamic"
   | E_blocking_lift -> "blocking-lift"
   | E_bdd -> "bdd"
+  | E_incremental -> "incremental"
 
 type step = {
   index : int;
@@ -44,23 +45,54 @@ let target_bdd man cubes =
     (fun acc c -> B.bor acc (B.cube man (Cube.to_list c)))
     (B.zero man) cubes
 
+(* One rebuild-per-frame preimage; besides the preimage BDD, reports the
+   frame's SAT calls and conflicts (0/0 for the native BDD engine) so the
+   baseline emits the same per-frame trace events as the session. *)
 let preimage_of_cubes engine circuit frontier_cubes man ~width =
   let instance = Instance.make circuit frontier_cubes in
+  let of_engine m =
+    let r = Engine.run m instance in
+    let s = Engine.stats r in
+    ( Check.result_bdd man r ~width,
+      Ps_util.Stats.get s "solve_calls",
+      Ps_util.Stats.get s "conflicts" )
+  in
   match engine with
-  | E_sds ->
-    let r = Engine.run Engine.Sds instance in
-    Check.result_bdd man r ~width
-  | E_sds_dynamic ->
-    let r = Engine.run Engine.SdsDynamic instance in
-    Check.result_bdd man r ~width
-  | E_blocking_lift ->
-    let r = Engine.run Engine.BlockingLift instance in
-    Check.result_bdd man r ~width
+  | E_sds -> of_engine Engine.Sds
+  | E_sds_dynamic -> of_engine Engine.SdsDynamic
+  | E_blocking_lift -> of_engine Engine.BlockingLift
   | E_bdd ->
     let r = Bdd_engine.run instance in
-    Check.preimage_bdd_in man r instance
+    (Check.preimage_bdd_in man r instance, 0, 0)
+  | E_incremental -> assert false (* dispatched to Reach_inc in [backward] *)
 
-let backward ?(engine = E_sds) ?(max_steps = 1000) circuit target =
+let step_of_frame (f : Reach_inc.frame) =
+  {
+    index = f.Reach_inc.index;
+    frontier_states = f.Reach_inc.frontier_states;
+    total_states = f.Reach_inc.total_states;
+    frontier_cubes = f.Reach_inc.frontier_cubes;
+    time_s = f.Reach_inc.time_s;
+  }
+
+let backward_incremental ~max_steps ~trace circuit target =
+  let r = Reach_inc.run ~max_steps ~trace circuit target in
+  {
+    engine = E_incremental;
+    steps = List.map step_of_frame r.Reach_inc.frames;
+    fixpoint = r.Reach_inc.fixpoint;
+    total_states = r.Reach_inc.total_states;
+    reached = r.Reach_inc.reached;
+    man = r.Reach_inc.man;
+    layers = r.Reach_inc.layers;
+    time_s = r.Reach_inc.time_s;
+  }
+
+let backward ?(engine = E_sds) ?(incremental = false) ?(max_steps = 1000)
+    ?(trace = Ps_util.Trace.null) circuit target =
+  if incremental || engine = E_incremental then
+    backward_incremental ~max_steps ~trace circuit target
+  else begin
   let t_start = Unix.gettimeofday () in
   let tr = T.of_netlist circuit in
   let nstate = Array.length tr.T.state_nets in
@@ -79,7 +111,16 @@ let backward ?(engine = E_sds) ?(max_steps = 1000) circuit target =
       incr index;
       let t0 = Unix.gettimeofday () in
       let frontier_cubes = cubes_of_bdd !frontier ~width:nstate in
-      let pre = preimage_of_cubes engine circuit frontier_cubes man ~width:nstate in
+      Ps_util.Trace.emit trace
+        (Ps_util.Trace.Frame_start
+           {
+             index = !index;
+             frontier_cubes = List.length frontier_cubes;
+             learnts = 0 (* rebuild-per-frame: every frame starts cold *);
+           });
+      let pre, sat_calls, conflicts =
+        preimage_of_cubes engine circuit frontier_cubes man ~width:nstate
+      in
       let fresh = B.band pre (B.bnot !reached) in
       reached := B.bor !reached fresh;
       layers := !reached :: !layers;
@@ -93,6 +134,16 @@ let backward ?(engine = E_sds) ?(max_steps = 1000) circuit target =
           time_s = Unix.gettimeofday () -. t0;
         }
         :: !steps;
+      if not (Ps_util.Trace.is_null trace) then
+        Ps_util.Trace.emit trace
+          (Ps_util.Trace.Frame_done
+             {
+               index = !index;
+               new_cubes = List.length (cubes_of_bdd fresh ~width:nstate);
+               blocked = 0 (* no session: nothing persists across frames *);
+               sat_calls;
+               conflicts;
+             });
       if B.is_zero fresh then fixpoint := true
     end
   done;
@@ -106,6 +157,7 @@ let backward ?(engine = E_sds) ?(max_steps = 1000) circuit target =
     layers = List.rev !layers;
     time_s = Unix.gettimeofday () -. t_start;
   }
+  end
 
 let mem r state_bits = B.eval r.reached state_bits
 

@@ -6,7 +6,13 @@
     over the state variables regardless of the per-step engine, so the
     SAT engines and the native BDD engine are directly comparable. *)
 
-type engine = E_sds | E_sds_dynamic | E_blocking_lift | E_bdd
+(** The per-step preimage method. [E_incremental] is different in kind:
+    instead of rebuilding the transition CNF and a fresh solver at every
+    frame, it drives a persistent {!Reach_inc} session (one CNF, one
+    solver, retractable per-frame constraint groups, learnt clauses
+    surviving frame to frame). Its results are bit-identical to the
+    rebuild-per-frame engines'. *)
+type engine = E_sds | E_sds_dynamic | E_blocking_lift | E_bdd | E_incremental
 
 val engine_name : engine -> string
 
@@ -31,11 +37,23 @@ type result = {
   time_s : float;
 }
 
-(** [backward ?engine ?max_steps circuit target] runs the fixpoint.
-    Default engine [E_sds], default [max_steps] 1000. *)
+(** [backward ?engine ?incremental ?max_steps ?trace circuit target]
+    runs the fixpoint. Default engine [E_sds], default [max_steps] 1000.
+
+    [~incremental:true] forces the {!Reach_inc} session regardless of
+    [engine] (equivalent to [~engine:E_incremental]); the result's
+    [engine] field is then [E_incremental].
+
+    [trace] receives a {!Ps_util.Trace.Frame_start} /
+    {!Ps_util.Trace.Frame_done} pair per fixpoint frame (from either
+    path — the rebuild-per-frame baseline reports [learnts = 0] and
+    [blocked = 0], since nothing persists across its frames) plus the
+    underlying solver events. *)
 val backward :
   ?engine:engine ->
+  ?incremental:bool ->
   ?max_steps:int ->
+  ?trace:Ps_util.Trace.sink ->
   Ps_circuit.Netlist.t ->
   Ps_allsat.Cube.t list ->
   result

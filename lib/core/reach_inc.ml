@@ -1,0 +1,236 @@
+module B = Ps_bdd.Bdd
+module Cube = Ps_allsat.Cube
+module N = Ps_circuit.Netlist
+module T = Ps_circuit.Transition
+module Tseitin = Ps_circuit.Tseitin
+module Solver = Ps_sat.Solver
+module Lit = Ps_sat.Lit
+module Stats = Ps_util.Stats
+module Trace = Ps_util.Trace
+
+type frame = {
+  index : int;
+  frontier_cubes : int;
+  new_cubes : int;
+  blocking_clauses : int;
+  sat_calls : int;
+  conflicts : int;
+  learnts_start : int;
+  frontier_states : float;
+  total_states : float;
+  time_s : float;
+}
+
+type result = {
+  frames : frame list;
+  fixpoint : bool;
+  total_states : float;
+  reached : B.t;
+  man : B.man;
+  layers : B.t list;
+  time_s : float;
+  solver_stats : Stats.t;
+}
+
+type t = {
+  circuit : N.t;
+  tr : T.t;
+  nstate : int;
+  solver : Solver.t;
+  man : B.man;
+  mutable reached : B.t;
+  mutable frontier : B.t;
+  mutable layers : B.t list;   (* reverse order *)
+  mutable frames : frame list; (* reverse order *)
+  mutable index : int;
+  trace : Trace.sink;
+  t_start : float;
+}
+
+let cube_of_path path =
+  Cube.of_string
+    (String.init (Array.length path) (fun i ->
+         match path.(i) with Some true -> '1' | Some false -> '0' | None -> '-'))
+
+let cubes_of_bdd f ~width =
+  let acc = ref [] in
+  B.iter_cubes f ~nvars:width (fun path -> acc := cube_of_path path :: !acc);
+  List.rev !acc
+
+let target_bdd man cubes =
+  List.fold_left
+    (fun acc c -> B.bor acc (B.cube man (Cube.to_list c)))
+    (B.zero man) cubes
+
+(* A permanent blocking clause over the state variables excludes one cube
+   of already-reached states from every later preimage enumeration. Each
+   state is blocked at most once over the whole session, so the clause-set
+   growth is bounded by |backward reachable set| — never by (frames ×
+   reached), the quadratic blow-up of re-blocking per frame. *)
+let block_state_cube t cube =
+  let lits =
+    List.map
+      (fun (pos, v) -> Lit.make t.tr.T.state_nets.(pos) (not v))
+      (Cube.to_list cube)
+  in
+  ignore (Solver.add_clause t.solver lits)
+
+let create ?(trace = Trace.null) circuit target =
+  let tr = T.of_netlist circuit in
+  let nstate = Array.length tr.T.state_nets in
+  if nstate = 0 then invalid_arg "Reach_inc.create: circuit has no latches";
+  (* One transition-relation CNF for the whole session: the cone of every
+     next-state net, encoded once into a persistent solver. *)
+  let cone = N.cone circuit (Array.to_list tr.T.next_nets) in
+  let solver = Solver.create () in
+  ignore (Solver.load solver (Tseitin.encode ~cone circuit));
+  Solver.ensure_vars solver (N.num_nets circuit);
+  let man = B.new_man ~nvars:nstate in
+  let reached = target_bdd man target in
+  let t =
+    {
+      circuit;
+      tr;
+      nstate;
+      solver;
+      man;
+      reached;
+      frontier = reached;
+      layers = [ reached ];
+      frames = [];
+      index = 0;
+      trace;
+      t_start = Unix.gettimeofday ();
+    }
+  in
+  (* The target set is reached from the start: block its cubes now. *)
+  List.iter (block_state_cube t) (cubes_of_bdd reached ~width:nstate);
+  t
+
+let fixpoint_reached t = B.is_zero t.frontier
+
+let solver t = t.solver
+
+(* Post this frame's frontier constraint — "the next state lies in the
+   frontier" — as a retractable clause group: a DNF-selector encoding of
+   the frontier cubes over the next-state nets, all guarded by the group's
+   activation literal. A single cube needs no selectors (its literals go
+   in directly); [k > 1] cubes get one auxiliary selector each plus the
+   one-of disjunction. *)
+let post_frontier_group t frontier_cubes =
+  let g = Solver.new_group t.solver in
+  let lits_of_cube c =
+    List.map (fun (pos, v) -> Lit.make t.tr.T.next_nets.(pos) v) (Cube.to_list c)
+  in
+  (match frontier_cubes with
+  | [ c ] -> List.iter (fun l -> ignore (Solver.add_grouped t.solver g [ l ])) (lits_of_cube c)
+  | cubes ->
+    let selectors =
+      List.map
+        (fun c ->
+          let a = Solver.new_var t.solver in
+          List.iter
+            (fun l -> ignore (Solver.add_grouped t.solver g [ Lit.neg a; l ]))
+            (lits_of_cube c);
+          Lit.pos a)
+        cubes
+    in
+    ignore (Solver.add_grouped t.solver g selectors));
+  g
+
+let frame t =
+  if fixpoint_reached t then false
+  else begin
+    t.index <- t.index + 1;
+    let t0 = Unix.gettimeofday () in
+    let frontier_cubes = cubes_of_bdd t.frontier ~width:t.nstate in
+    let learnts_start = Solver.n_learnts t.solver in
+    let conflicts0 = Stats.get (Solver.stats t.solver) "conflicts" in
+    Trace.emit t.trace
+      (Trace.Frame_start
+         {
+           index = t.index;
+           frontier_cubes = List.length frontier_cubes;
+           learnts = learnts_start;
+         });
+    let g = post_frontier_group t frontier_cubes in
+    let assumptions = [ Solver.group_lit t.solver g ] in
+    (* Plain blocking all-SAT over the state variables: every model is a
+       state minterm of Pre(frontier) \ reached (earlier frames' blocking
+       clauses already exclude the reached set), immediately blocked
+       permanently. *)
+    let fresh = ref (B.zero t.man) in
+    let sat_calls = ref 0 in
+    let new_cubes = ref 0 in
+    let exhausted = ref false in
+    while not !exhausted do
+      incr sat_calls;
+      match Solver.solve ~assumptions ~trace:t.trace t.solver with
+      | Solver.Unsat -> exhausted := true
+      | Solver.Unknown -> assert false (* unbudgeted solve *)
+      | Solver.Sat ->
+        let bits =
+          Array.map
+            (fun net -> Solver.model_value t.solver net)
+            t.tr.T.state_nets
+        in
+        incr new_cubes;
+        fresh :=
+          B.bor !fresh
+            (B.cube t.man (List.init t.nstate (fun i -> (i, bits.(i)))));
+        block_state_cube t (Cube.of_assignment bits)
+    done;
+    Solver.retire_group t.solver g;
+    let conflicts =
+      Stats.get (Solver.stats t.solver) "conflicts" - conflicts0
+    in
+    let fresh = !fresh in
+    t.reached <- B.bor t.reached fresh;
+    t.layers <- t.reached :: t.layers;
+    t.frontier <- fresh;
+    let count f = B.count_models ~nvars:t.nstate f in
+    t.frames <-
+      {
+        index = t.index;
+        frontier_cubes = List.length frontier_cubes;
+        new_cubes = !new_cubes;
+        blocking_clauses = !new_cubes;
+        sat_calls = !sat_calls;
+        conflicts;
+        learnts_start;
+        frontier_states = count fresh;
+        total_states = count t.reached;
+        time_s = Unix.gettimeofday () -. t0;
+      }
+      :: t.frames;
+    Trace.emit t.trace
+      (Trace.Frame_done
+         {
+           index = t.index;
+           new_cubes = !new_cubes;
+           blocked = !new_cubes;
+           sat_calls = !sat_calls;
+           conflicts;
+         });
+    true
+  end
+
+let result t =
+  {
+    frames = List.rev t.frames;
+    fixpoint = fixpoint_reached t;
+    total_states = B.count_models ~nvars:t.nstate t.reached;
+    reached = t.reached;
+    man = t.man;
+    layers = List.rev t.layers;
+    time_s = Unix.gettimeofday () -. t.t_start;
+    solver_stats = Solver.stats t.solver;
+  }
+
+let run ?(max_steps = 1000) ?trace circuit target =
+  let t = create ?trace circuit target in
+  let steps = ref 0 in
+  while (not (fixpoint_reached t)) && !steps < max_steps do
+    if frame t then incr steps
+  done;
+  result t

@@ -1,0 +1,102 @@
+(** Incremental frame-to-frame backward reachability.
+
+    The rebuild-per-frame fixpoint ({!Reach.backward}) pays, at {e every}
+    frame: a target-block graft, a Tseitin encoding of the transition
+    cone, a fresh solver, and — most expensively — the loss of every
+    learnt clause the previous frame's enumeration derived. A session
+    removes all four costs:
+
+    - the transition-relation CNF (the cone of {e all} next-state nets)
+      is encoded {e once} at {!create} into one persistent
+      {!Ps_sat.Solver};
+    - each frame's frontier constraint ("the next state lies in the
+      current frontier") lives in a retractable {e clause group}
+      ({!Ps_sat.Solver.new_group}): a DNF-selector encoding guarded by a
+      fresh activation literal, assumed during the frame's solve calls
+      and permanently disabled — and arena-reclaimed — when the frame
+      retires;
+    - states already reached are excluded by {e permanent} blocking
+      clauses over the state variables, added only for the states a
+      frame discovers (earlier frames' blocks persist, so no frame ever
+      re-blocks the accumulated reached set);
+    - learnt clauses survive every frame boundary (the
+      ["learnts_kept"] solver statistic counts them at each group
+      retirement).
+
+    The per-frame enumeration is plain blocking all-SAT over the state
+    variables, so each frame emits the {e minterms} of
+    [Pre(frontier) \ reached]; the reached set, layers and step counts
+    are bit-identical to {!Reach.backward}'s (the differential suite
+    checks this on hundreds of random circuits). Use
+    [Reach.backward ~incremental:true] for the drop-in interface, or
+    drive frames one at a time with {!create}/{!frame}. *)
+
+(** Per-frame statistics, in frame order. *)
+type frame = {
+  index : int;              (** 1-based frame number *)
+  frontier_cubes : int;     (** cubes handed to this frame's group *)
+  new_cubes : int;          (** state minterms discovered (= new states) *)
+  blocking_clauses : int;   (** blocking clauses added {e this} frame —
+                                equals [new_cubes]; never grows with the
+                                total reached set *)
+  sat_calls : int;
+  conflicts : int;          (** conflicts spent inside this frame *)
+  learnts_start : int;      (** learnt clauses alive when the frame began:
+                                knowledge inherited from earlier frames *)
+  frontier_states : float;  (** states newly added by this frame *)
+  total_states : float;     (** |reached| after this frame *)
+  time_s : float;
+}
+
+type result = {
+  frames : frame list;
+  fixpoint : bool;          (** [false] only when [max_steps] stopped it *)
+  total_states : float;
+  reached : Ps_bdd.Bdd.t;   (** over state variables [0 .. nstate-1] *)
+  man : Ps_bdd.Bdd.man;
+  layers : Ps_bdd.Bdd.t list;
+      (** cumulative, [List.hd] = the target set *)
+  time_s : float;
+  solver_stats : Ps_util.Stats.t;
+      (** final stats of the persistent solver — includes
+          ["groups_live"], ["groups_retired"], ["learnts_kept"] *)
+}
+
+(** A running session. *)
+type t
+
+(** [create ?trace circuit target] encodes the transition cone, blocks
+    the target cubes (the initial reached set) and posts the first
+    frontier. Raises [Invalid_argument] when the circuit has no latches
+    (as {!Reach.backward}). *)
+val create :
+  ?trace:Ps_util.Trace.sink ->
+  Ps_circuit.Netlist.t ->
+  Ps_allsat.Cube.t list ->
+  t
+
+(** [frame t] runs one fixpoint frame: enumerate
+    [Pre(frontier) \ reached], extend the reached set, retire the
+    frame's group. Returns [false] when the fixpoint was already
+    reached (no frame was run). *)
+val frame : t -> bool
+
+(** [fixpoint_reached t] — is the frontier empty? *)
+val fixpoint_reached : t -> bool
+
+(** [result t] packages the session's current state (callable at any
+    point; [fixpoint] reflects {!fixpoint_reached}). *)
+val result : t -> result
+
+(** [solver t] is the persistent solver (for stats inspection; mutating
+    it voids the session's invariants). *)
+val solver : t -> Ps_sat.Solver.t
+
+(** [run ?max_steps ?trace circuit target] drives a fresh session to the
+    fixpoint (or [max_steps] frames, default 1000). *)
+val run :
+  ?max_steps:int ->
+  ?trace:Ps_util.Trace.sink ->
+  Ps_circuit.Netlist.t ->
+  Ps_allsat.Cube.t list ->
+  result

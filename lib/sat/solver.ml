@@ -56,6 +56,12 @@ type t = {
   mutable n_watch_visits : int;
   mutable n_blocker_skips : int;
   mutable conflict_core : Lit.t list;
+  (* Retractable clause groups: activation variable -> live crefs of the
+     group's arena clauses (unit group clauses are enqueued, not stored).
+     Retired groups leave the table. *)
+  groups : (int, int Vec.t) Hashtbl.t;
+  mutable n_groups_retired : int;
+  mutable n_learnts_kept : int;
   (* Transient per-[solve] observability hooks (set on entry). *)
   mutable budget : Budget.t option;
   mutable trace : Trace.sink;
@@ -105,6 +111,9 @@ let create () =
     n_watch_visits = 0;
     n_blocker_skips = 0;
     conflict_core = [];
+    groups = Hashtbl.create 16;
+    n_groups_retired = 0;
+    n_learnts_kept = 0;
     budget = None;
     trace = Trace.null;
   }
@@ -185,6 +194,9 @@ let stats t =
   Stats.add st "arena_live_words" (Arena.live_words t.arena);
   Stats.add st "arena_gcs" t.n_gcs;
   Stats.add st "arena_gc_words" t.n_gc_words;
+  Stats.add st "groups_live" (Hashtbl.length t.groups);
+  Stats.add st "groups_retired" t.n_groups_retired;
+  Stats.add st "learnts_kept" t.n_learnts_kept;
   st
 
 (* --- assignment primitives ------------------------------------------- *)
@@ -507,6 +519,14 @@ let garbage_collect t =
   for i = 0 to Vec.size t.learnts - 1 do
     Vec.set t.learnts i (Arena.reloc ~from ~into (Vec.get t.learnts i))
   done;
+  (* Group registries are a secondary index into [t.clauses]; [reloc]'s
+     forwarding pointers make the second visit a lookup, not a copy. *)
+  Hashtbl.iter
+    (fun _ crs ->
+      for i = 0 to Vec.size crs - 1 do
+        Vec.set crs i (Arena.reloc ~from ~into (Vec.get crs i))
+      done)
+    t.groups;
   t.arena <- into;
   t.n_gcs <- t.n_gcs + 1;
   t.n_gc_words <- t.n_gc_words + (before_words - Arena.len into);
@@ -544,9 +564,11 @@ let reduce_db t =
 
 (* --- adding clauses ---------------------------------------------------- *)
 
-let add_clause t lits =
+(* Shared add path; returns the arena reference when the (simplified)
+   clause was actually stored, so the group registry can index it. *)
+let add_clause_cref t lits =
   cancel_until t 0;
-  if not t.ok then false
+  if not t.ok then (false, cref_undef)
   else begin
     List.iter (fun l -> ensure_vars t (Lit.var l + 1)) lits;
     (* Sort, dedupe, drop root-false literals, detect tautology /
@@ -556,27 +578,29 @@ let add_clause t lits =
       List.exists (fun l -> List.mem (Lit.negate l) lits) lits
       || List.exists (fun l -> value_lit t l = 1) lits
     in
-    if tautology then true
+    if tautology then (true, cref_undef)
     else begin
       let lits = List.filter (fun l -> value_lit t l <> 0) lits in
       match lits with
       | [] ->
         t.ok <- false;
-        false
+        (false, cref_undef)
       | [ l ] ->
         ignore (enqueue t l cref_undef);
         if propagate t <> cref_undef then begin
           t.ok <- false;
-          false
+          (false, cref_undef)
         end
-        else true
+        else (true, cref_undef)
       | _ ->
         let cr = Arena.alloc t.arena ~learnt:false (Array.of_list lits) in
         Vec.push t.clauses cr;
         attach t cr;
-        true
+        (true, cr)
     end
   end
+
+let add_clause t lits = fst (add_clause_cref t lits)
 
 let load t cnf =
   ensure_vars t cnf.Cnf.nvars;
@@ -584,6 +608,73 @@ let load t cnf =
     (fun ok c -> add_clause t (Array.to_list c) && ok)
     true
     (List.rev cnf.Cnf.clauses)
+
+(* --- retractable clause groups ------------------------------------------ *)
+
+type group = int (* the activation variable *)
+
+let new_group t =
+  let v = new_var t in
+  Hashtbl.replace t.groups v (Vec.create ~dummy:cref_undef);
+  v
+
+let group_lit _t g = Lit.pos g
+
+let group_is_live t g = Hashtbl.mem t.groups g
+
+let group_clauses t g =
+  match Hashtbl.find_opt t.groups g with
+  | Some crs -> Vec.size crs
+  | None -> 0
+
+let add_grouped t g lits =
+  if not (Hashtbl.mem t.groups g) then
+    invalid_arg "Solver.add_grouped: retired or unknown group";
+  let ok, cr = add_clause_cref t (Lit.neg g :: lits) in
+  if cr <> cref_undef then Vec.push (Hashtbl.find t.groups g) cr;
+  ok
+
+let retire_group t g =
+  match Hashtbl.find_opt t.groups g with
+  | None -> invalid_arg "Solver.retire_group: retired or unknown group"
+  | Some crs ->
+    Hashtbl.remove t.groups g;
+    t.n_groups_retired <- t.n_groups_retired + 1;
+    t.n_learnts_kept <- t.n_learnts_kept + Vec.size t.learnts;
+    (* Permanently disable the activation literal; every clause of the
+       group is root-satisfied from here on, so freeing the blocks below
+       cannot lose information. *)
+    ignore (add_clause t [ Lit.neg g ]);
+    if Vec.size crs > 0 then begin
+      let freed = Hashtbl.create (Vec.size crs) in
+      Vec.iter
+        (fun cr ->
+          if not (Arena.dead t.arena cr) then begin
+            detach t cr;
+            Arena.free t.arena cr;
+            Hashtbl.replace freed cr ()
+          end)
+        crs;
+      (* A group clause may be the reason of a root-fixed literal (it
+         went unit before retirement — typically for ¬g itself); level-0
+         literals never need an antecedent, so clear those pointers
+         before the blocks are reclaimed. *)
+      for v = 0 to t.n_vars - 1 do
+        if t.reason.(v) <> cref_undef && Hashtbl.mem freed t.reason.(v) then
+          t.reason.(v) <- cref_undef
+      done;
+      let kept = Vec.create ~dummy:cref_undef in
+      Vec.iter
+        (fun cr -> if not (Hashtbl.mem freed cr) then Vec.push kept cr)
+        t.clauses;
+      Vec.clear t.clauses;
+      Vec.iter (fun cr -> Vec.push t.clauses cr) kept;
+      if Arena.should_gc t.arena then garbage_collect t
+    end
+
+let groups_live t = Hashtbl.length t.groups
+let groups_retired t = t.n_groups_retired
+let learnts_kept t = t.n_learnts_kept
 
 (* --- search ------------------------------------------------------------ *)
 
@@ -814,6 +905,17 @@ let check_watches t =
     in
     Vec.iter record t.clauses;
     Vec.iter record t.learnts;
+    (* Live group registries only reference live problem clauses. *)
+    Hashtbl.iter
+      (fun g crs ->
+        Vec.iter
+          (fun cr ->
+            if cr = cref_undef || Arena.dead t.arena cr then
+              bad "group %d holds dead cref %d" g cr;
+            if not (Vec.exists (fun c -> c = cr) t.clauses) then
+              bad "group %d cref %d not in the problem-clause list" g cr)
+          crs)
+      t.groups;
     (* The arena's live blocks are exactly the registered clauses. *)
     let n_arena = ref 0 in
     Arena.iter_live

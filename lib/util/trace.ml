@@ -15,6 +15,14 @@ type event =
       stopped : string;
     }
   | Stopped of { reason : string }
+  | Frame_start of { index : int; frontier_cubes : int; learnts : int }
+  | Frame_done of {
+      index : int;
+      new_cubes : int;
+      blocked : int;
+      sat_calls : int;
+      conflicts : int;
+    }
 
 let event_name = function
   | Restart _ -> "restart"
@@ -28,6 +36,8 @@ let event_name = function
   | Shard_start _ -> "shard_start"
   | Shard_done _ -> "shard_done"
   | Stopped _ -> "stopped"
+  | Frame_start _ -> "frame_start"
+  | Frame_done _ -> "frame_done"
 
 (* The only strings we embed are engine/phase/result names and stop
    reasons — all identifier-like — but escape defensively anyway. *)
@@ -75,6 +85,13 @@ let to_json ~time_s ev =
       Printf.sprintf {|"shard":%s,"cubes":%d,"conflicts":%d,"stopped":%s|}
         (json_string shard) cubes conflicts (json_string stopped)
     | Stopped { reason } -> Printf.sprintf {|"reason":%s|} (json_string reason)
+    | Frame_start { index; frontier_cubes; learnts } ->
+      Printf.sprintf {|"index":%d,"frontier_cubes":%d,"learnts":%d|} index
+        frontier_cubes learnts
+    | Frame_done { index; new_cubes; blocked; sat_calls; conflicts } ->
+      Printf.sprintf
+        {|"index":%d,"new_cubes":%d,"blocked":%d,"sat_calls":%d,"conflicts":%d|}
+        index new_cubes blocked sat_calls conflicts
   in
   Printf.sprintf {|{"t":%.6f,"ev":%s,%s}|} time_s
     (json_string (event_name ev))
@@ -104,7 +121,7 @@ let throttled ?(interval_s = 0.1) f =
   let last = ref neg_infinity in
   callback (fun ~time_s ev ->
       match ev with
-      | Stopped _ | Phase _ ->
+      | Stopped _ | Phase _ | Frame_start _ | Frame_done _ ->
         last := time_s;
         f ~time_s ev
       | _ ->

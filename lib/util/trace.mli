@@ -45,6 +45,22 @@ type event =
           shard was split further instead of kept) *)
   | Stopped of { reason : string }
       (** why the run ended (a {!Budget.stop} name or ["complete"]) *)
+  | Frame_start of { index : int; frontier_cubes : int; learnts : int }
+      (** a reachability fixpoint frame began: 1-based frame index, the
+          number of frontier cubes handed to this frame's preimage, and
+          the learnt clauses already live in the (incremental) solver —
+          the knowledge carried over from earlier frames *)
+  | Frame_done of {
+      index : int;
+      new_cubes : int;
+      blocked : int;
+      sat_calls : int;
+      conflicts : int;
+    }
+      (** the frame finished: states newly added to the reached set, the
+          blocking clauses added {e this frame} (never the whole reached
+          set — see docs/ALGORITHMS.md §11), and the frame's SAT
+          calls/conflicts *)
 
 val event_name : event -> string
 
@@ -72,9 +88,9 @@ val jsonl : out_channel -> sink
 val jsonl_file : string -> sink * (unit -> unit)
 
 (** [throttled ~interval_s f] forwards at most one event per
-    [interval_s] seconds to [f] — except {!Stopped} and {!Phase}
-    events, which always pass (they are rare and structural). Default
-    interval: 0.1 s. *)
+    [interval_s] seconds to [f] — except {!Stopped}, {!Phase},
+    {!Frame_start} and {!Frame_done} events, which always pass (they
+    are rare and structural). Default interval: 0.1 s. *)
 val throttled : ?interval_s:float -> (time_s:float -> event -> unit) -> sink
 
 (** [tee a b] duplicates every event to both sinks. *)

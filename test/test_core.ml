@@ -249,7 +249,7 @@ let test_reach_counter_full () =
         (Rh.engine_name engine ^ " reaches the full space")
         16.0 r.Rh.total_states;
       check_bool "fixpoint" true r.Rh.fixpoint)
-    [ Rh.E_sds; Rh.E_sds_dynamic; Rh.E_blocking_lift; Rh.E_bdd ]
+    [ Rh.E_sds; Rh.E_sds_dynamic; Rh.E_blocking_lift; Rh.E_bdd; Rh.E_incremental ]
 
 let test_reach_max_steps () =
   let c = Ps_gen.Counters.binary ~bits:4 () in
@@ -283,6 +283,7 @@ let reach_engines_agree =
       let r2 = Rh.backward ~engine:Rh.E_bdd c target in
       let r3 = Rh.backward ~engine:Rh.E_blocking_lift c target in
       let r4 = Rh.backward ~engine:Rh.E_sds_dynamic c target in
+      let r5 = Rh.backward ~engine:Rh.E_incremental c target in
       let same_pointwise a b =
         let ok = ref true in
         Helpers.iter_assignments nstate (fun bits ->
@@ -293,7 +294,9 @@ let reach_engines_agree =
       r1.Rh.total_states = r2.Rh.total_states
       && r2.Rh.total_states = r3.Rh.total_states
       && r3.Rh.total_states = r4.Rh.total_states
-      && same_pointwise r1 r2 && same_pointwise r2 r3 && same_pointwise r3 r4)
+      && r4.Rh.total_states = r5.Rh.total_states
+      && same_pointwise r1 r2 && same_pointwise r2 r3 && same_pointwise r3 r4
+      && same_pointwise r4 r5)
 
 let test_reach_membership_vs_simulation () =
   (* Forward simulation confirms backward reachability: any state in the
@@ -328,6 +331,106 @@ let test_reach_membership_vs_simulation () =
       let s = Array.sub bits 0 nstate in
       if Rh.mem r s <> can_reach s then
         Alcotest.fail "reach set disagrees with forward simulation")
+
+(* The Kstep time-frame unrolling is an independent oracle for the
+   fixpoint: states within backward distance n = target ∪ (union of the
+   exact-i-step preimages for i = 1..n). Checked against the last layer
+   of a [~max_steps:n] run, for both the rebuild-per-frame and the
+   incremental session path. *)
+let reach_matches_kstep_union =
+  Helpers.qtest "reach layers = union of kstep preimages" ~count:12
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = R.create ~seed in
+      let c =
+        Helpers.random_seq rng ~nin:(1 + R.int rng 2) ~nlatches:(2 + R.int rng 3)
+          ~ngates:(3 + R.int rng 10)
+      in
+      let nstate = List.length (N.latches c) in
+      let target = T.random ~bits:nstate ~ncubes:1 ~density:0.7 rng in
+      let n = 1 + R.int rng 3 in
+      let check_mode ~incremental =
+        let r = Rh.backward ~incremental ~max_steps:n c target in
+        let module B = Ps_bdd.Bdd in
+        let man = r.Rh.man in
+        let target_bdd =
+          List.fold_left
+            (fun acc cu -> B.bor acc (B.cube man (Cube.to_list cu)))
+            (B.zero man) target
+        in
+        let kstep_union =
+          List.fold_left
+            (fun acc i ->
+              let k = Preimage.Kstep.preimage c target ~k:i in
+              B.bor acc (Preimage.Kstep.preimage_bdd man k ~nstate))
+            target_bdd
+            (List.init n (fun i -> i + 1))
+        in
+        let last_layer = List.nth r.Rh.layers (List.length r.Rh.layers - 1) in
+        B.equal kstep_union last_layer
+      in
+      check_mode ~incremental:false && check_mode ~incremental:true)
+
+(* Regression for the per-frame blocking discipline: the session blocks
+   only the states a frame discovers, so the blocking work per frame
+   tracks the frontier — never the accumulated reached set. On the
+   counter, every frame finds exactly one new state while the reached
+   set grows to 256: any re-blocking of the full set would show up as a
+   growing per-frame clause count. *)
+let test_reach_inc_blocking_constant () =
+  let module RI = Preimage.Reach_inc in
+  let c = Ps_gen.Counters.binary ~bits:8 () in
+  let r = RI.run c (T.value ~bits:8 0) in
+  check_bool "fixpoint" true r.RI.fixpoint;
+  check_float "reaches everything" 256.0 r.RI.total_states;
+  List.iter
+    (fun (f : RI.frame) ->
+      check_int
+        (Printf.sprintf "frame %d blocks only its own discoveries" f.RI.index)
+        f.RI.new_cubes f.RI.blocking_clauses;
+      if f.RI.new_cubes > 0 then
+        check_int
+          (Printf.sprintf "frame %d: counter frontier is one state" f.RI.index)
+          1 f.RI.blocking_clauses)
+    r.RI.frames;
+  (* the deep frames inherit learnt clauses from the shallow ones *)
+  let last = List.nth r.RI.frames (List.length r.RI.frames - 1) in
+  check_bool "learnts carried to the last frame" true (last.RI.learnts_start > 0);
+  check_bool "retirements kept learnts" true
+    (Ps_util.Stats.get r.RI.solver_stats "learnts_kept" > 0);
+  let st = r.RI.solver_stats in
+  check_int "one group per frame, all retired"
+    (List.length r.RI.frames)
+    (Ps_util.Stats.get st "groups_retired");
+  check_int "no group left live" 0 (Ps_util.Stats.get st "groups_live")
+
+let test_reach_inc_session_stepwise () =
+  (* Driving frames by hand matches the packaged run. *)
+  let module RI = Preimage.Reach_inc in
+  let c = Ps_gen.Counters.binary ~bits:4 () in
+  let target = T.all_ones ~bits:4 in
+  let s = RI.create c target in
+  let frames = ref 0 in
+  while RI.frame s do incr frames done;
+  check_bool "fixpoint" true (RI.fixpoint_reached s);
+  let r = RI.result s in
+  check_int "frames counted" !frames (List.length r.RI.frames);
+  check_float "full space" 16.0 r.RI.total_states;
+  let packaged = RI.run c target in
+  check_int "same frame count" (List.length packaged.RI.frames)
+    (List.length r.RI.frames);
+  check_float "same states" packaged.RI.total_states r.RI.total_states;
+  (* no latches: same contract as Reach.backward *)
+  let comb_free =
+    (* a purely combinational netlist: inputs only *)
+    let b = Ps_circuit.Builder.create () in
+    let x = Ps_circuit.Builder.input b "x" in
+    Ps_circuit.Builder.output b x;
+    Ps_circuit.Builder.finalize b
+  in
+  Alcotest.check_raises "no latches"
+    (Invalid_argument "Reach_inc.create: circuit has no latches")
+    (fun () -> ignore (RI.create comb_free [ Cube.make 1 ]))
 
 let () =
   Alcotest.run "preimage_core"
@@ -366,5 +469,13 @@ let () =
           reach_engines_agree;
           Alcotest.test_case "agrees with forward simulation" `Slow
             test_reach_membership_vs_simulation;
+          reach_matches_kstep_union;
+        ] );
+      ( "reach_inc",
+        [
+          Alcotest.test_case "per-frame blocking stays frontier-sized" `Quick
+            test_reach_inc_blocking_constant;
+          Alcotest.test_case "stepwise session = packaged run" `Quick
+            test_reach_inc_session_stepwise;
         ] );
     ]
