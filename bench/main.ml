@@ -598,6 +598,21 @@ let reach_rows : reach_row list ref = ref []
 let frames_per_sec frames time_s =
   if time_s > 0.0 then float_of_int frames /. time_s else 0.0
 
+(* Durable-store rows: what the crash-safe log costs on the write path
+   ("memory" vs "store" pairs) and what a crash recovery saves over
+   starting from scratch ("scratch" vs "resume" pairs). *)
+type persist_row = {
+  pr_workload : string;
+  pr_mode : string;      (* "memory" | "store" | "scratch" | "resume" *)
+  pr_cubes : int;
+  pr_time_s : float;
+  pr_ratio : float;      (* time vs the paired baseline row; 1.0 for baselines *)
+  pr_bytes : int;        (* final log size; 0 for in-memory runs *)
+  pr_verified : bool;    (* independent certification passed (all-SAT logs) *)
+}
+
+let persist_rows : persist_row list ref = ref []
+
 let write_json_summary path =
   let oc = open_out path in
   Fun.protect
@@ -620,12 +635,21 @@ let write_json_summary path =
           (frames_per_sec r.rr_frames r.rr_time_s)
           r.rr_speedup r.rr_learnts_kept r.rr_groups_retired r.rr_agree
       in
-      output_string oc "{\n  \"schema\": \"preimage-bench-smoke/3\",\n  \"rows\": [\n";
+      let persist_row r =
+        Printf.sprintf
+          {|    {"workload":"%s","mode":"%s","cubes":%d,"time_s":%.6f,"ratio":%.3f,"bytes":%d,"verified":%b}|}
+          r.pr_workload r.pr_mode r.pr_cubes r.pr_time_s r.pr_ratio r.pr_bytes
+          r.pr_verified
+      in
+      output_string oc "{\n  \"schema\": \"preimage-bench-smoke/4\",\n  \"rows\": [\n";
       output_string oc
         (String.concat ",\n" (List.rev_map row !smoke_rows));
       output_string oc "\n  ],\n  \"reach\": [\n";
       output_string oc
         (String.concat ",\n" (List.rev_map reach_row !reach_rows));
+      output_string oc "\n  ],\n  \"persist\": [\n";
+      output_string oc
+        (String.concat ",\n" (List.rev_map persist_row !persist_rows));
       output_string oc "\n  ]\n}\n")
 
 let smoke () =
@@ -823,6 +847,120 @@ let reach_exp () =
       "speedup"; "learnts_kept"; "groups_retired"; "agree" ]
     rows
 
+(* --- persist: durable-store overhead and resume payoff ----------------------- *)
+
+(* Two questions about the crash-safe solution store. (1) Write path:
+   how much does streaming every cube through the CRC'd log (plus the
+   write-time subsumption trie) slow a full enumeration down, and does
+   the resulting log pass independent certification? (2) Recovery:
+   given a fixpoint run killed halfway, how does resuming from the log
+   compare to recomputing from scratch? *)
+let persist_exp () =
+  let module St = Ps_store.Store in
+  let module Verify = Ps_store.Verify in
+  let tmp () = Filename.temp_file "psbench" ".log" in
+  let rm p = if Sys.file_exists p then Sys.remove p in
+  let file_size p = (Unix.stat p).Unix.st_size in
+  let record ~workload ~mode ~cubes ~time_s ~ratio ~bytes ~verified =
+    persist_rows :=
+      { pr_workload = workload; pr_mode = mode; pr_cubes = cubes;
+        pr_time_s = time_s; pr_ratio = ratio; pr_bytes = bytes;
+        pr_verified = verified }
+      :: !persist_rows
+  in
+  (* (1) all-SAT write-path overhead on a full blocking enumeration *)
+  let bits = 10 in
+  let c = Ps_gen.Counters.binary ~bits () in
+  let inst = I.make c (T.upper_half ~bits) in
+  let workload = Printf.sprintf "count%d-upper" bits in
+  let enumerate ?sink () =
+    let solver = Ps_sat.Solver.create () in
+    ignore (Ps_sat.Solver.load solver inst.I.cnf);
+    ignore (Ps_sat.Solver.add_clause solver [ Ps_sat.Lit.pos inst.I.root ]);
+    let t0 = Unix.gettimeofday () in
+    let r = Ps_allsat.Blocking.enumerate ~limit:blocking_cap ?sink solver inst.I.proj in
+    (List.length r.Ps_allsat.Run.cubes, Unix.gettimeofday () -. t0)
+  in
+  let mem_cubes, mem_t = enumerate () in
+  record ~workload ~mode:"memory" ~cubes:mem_cubes ~time_s:mem_t ~ratio:1.0
+    ~bytes:0 ~verified:false;
+  let path = tmp () in
+  let w =
+    St.create ~path
+      { St.engine = "allsat"; width = Ps_allsat.Project.width inst.I.proj;
+        vars = Array.copy inst.I.proj.Ps_allsat.Project.vars;
+        source = workload; source_crc = 0 }
+  in
+  let st_cubes, st_t = enumerate ~sink:(St.sink w) () in
+  St.finalize w ~complete:true ();
+  let bytes = file_size path in
+  let full_cnf = Ps_sat.Cnf.add_clause inst.I.cnf [ Ps_sat.Lit.pos inst.I.root ] in
+  let verified =
+    match St.recover ~path with
+    | Error _ -> false
+    | Ok r -> Verify.certifiable r = None && Verify.ok (Verify.run ~cnf:full_cnf r)
+  in
+  rm path;
+  let ratio = if mem_t > 0.0 then st_t /. mem_t else 1.0 in
+  record ~workload ~mode:"store" ~cubes:st_cubes ~time_s:st_t ~ratio ~bytes
+    ~verified;
+  (* (2) resume-vs-scratch on the reachability fixpoint: kill at half
+     the frames, then measure only the restart's cost *)
+  let r_workload = "count12-reach" in
+  let circuit = Ps_gen.Counters.binary ~bits:12 () in
+  let target = T.value ~bits:12 0 in
+  let max_steps = 48 in
+  let scratch = Preimage.Reach_inc.run ~max_steps circuit target in
+  let frames = List.length scratch.Preimage.Reach_inc.frames in
+  record ~workload:r_workload ~mode:"scratch" ~cubes:frames
+    ~time_s:scratch.Preimage.Reach_inc.time_s ~ratio:1.0 ~bytes:0
+    ~verified:false;
+  let rpath = tmp () in
+  let w =
+    St.create ~checkpoint_every:0 ~path:rpath
+      { St.engine = "reach"; width = 12; vars = [||]; source = r_workload;
+        source_crc = 0 }
+  in
+  let _ =
+    Preimage.Reach_inc.run ~max_steps:(max_steps / 2) ~store:w circuit target
+  in
+  (* the writer is deliberately never finalized: this is the killed run *)
+  (match St.resume ~checkpoint_every:0 ~path:rpath () with
+  | Error e -> prerr_endline ("persist: resume failed: " ^ e)
+  | Ok (rec_, w2) ->
+      let t0 = Unix.gettimeofday () in
+      let resumed =
+        Preimage.Reach_inc.run ~max_steps ~store:w2 ~resume:rec_ circuit target
+      in
+      let resume_t = Unix.gettimeofday () -. t0 in
+      St.finalize w2 ~complete:resumed.Preimage.Reach_inc.fixpoint ();
+      let agree =
+        List.length resumed.Preimage.Reach_inc.frames = frames
+        && resumed.Preimage.Reach_inc.total_states
+           = scratch.Preimage.Reach_inc.total_states
+      in
+      let ratio =
+        if scratch.Preimage.Reach_inc.time_s > 0.0 then
+          resume_t /. scratch.Preimage.Reach_inc.time_s
+        else 1.0
+      in
+      record ~workload:r_workload ~mode:"resume"
+        ~cubes:(List.length resumed.Preimage.Reach_inc.frames)
+        ~time_s:resume_t ~ratio ~bytes:(file_size rpath) ~verified:agree);
+  rm rpath;
+  let rows =
+    List.rev_map
+      (fun r ->
+        [ r.pr_workload; r.pr_mode; string_of_int r.pr_cubes; ms r.pr_time_s;
+          f2 r.pr_ratio; string_of_int r.pr_bytes;
+          (if r.pr_verified then "yes" else "-") ])
+      !persist_rows
+  in
+  print_table "Persist: durable-store overhead and resume payoff"
+    [ "workload"; "mode"; "cubes/frames"; "ms"; "ratio"; "log_bytes";
+      "certified" ]
+    rows
+
 (* --- consistency gate --------------------------------------------------------- *)
 
 let sanity () =
@@ -973,6 +1111,7 @@ let () =
       ("fig4", fig4); ("fig5", fig5); ("table5", table5); ("fig6", fig6);
       ("table6", table6); ("fig7", fig7); ("smoke", smoke);
       ("parallel", parallel_exp); ("reach", reach_exp);
+      ("persist", persist_exp);
     ]
   in
   if not (List.mem "notables" args) then begin

@@ -12,6 +12,7 @@ module E = Preimage.Engine
 module I = Preimage.Instance
 module R = Preimage.Reach
 module N = Ps_circuit.Netlist
+module St = Ps_store.Store
 
 (* --- shared argument parsing ------------------------------------------ *)
 
@@ -103,6 +104,37 @@ let make_budget timeout_s conflicts =
   match (timeout_s, conflicts) with
   | None, None -> None
   | _ -> Some (Ps_util.Budget.make ?timeout_s ?conflicts ())
+
+(* --- durable solution store flags (shared by reach and allsat) -------- *)
+
+let store_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "store" ] ~docv:"FILE"
+        ~doc:
+          "Stream the run into a crash-safe solution log: every enumerated \
+           cube is appended (CRC-framed, subsumption-deduplicated) with \
+           periodic checkpoints, so a killed run can be continued with \
+           $(b,--resume) and a finished one certified with $(b,verify).")
+
+let resume_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "resume" ] ~docv:"FILE"
+        ~doc:
+          "Resume a killed run from its solution log: recover to the last \
+           valid checkpoint (discarding any torn tail), reload everything \
+           found so far, and continue appending to the same file.")
+
+let print_store_stats w =
+  let s = St.stats w in
+  Format.printf
+    "store: %s records=%d bytes=%d cubes=%d subsumed_on_write=%d \
+     checkpoints=%d@."
+    (St.path w) s.St.records s.St.bytes s.St.cubes s.St.subsumed_on_write
+    s.St.checkpoints
 
 let with_trace path f =
   match path with
@@ -318,12 +350,53 @@ let reach_cmd =
             "After the fixpoint, extract a witness input trace from this \
              state (0/1 string, state bit 0 first).")
   in
-  let run spec target_spec engine incremental max_steps trace_from trace_file =
+  let run spec target_spec engine incremental max_steps trace_from trace_file
+      store_file resume_file =
     let circuit = load_circuit spec in
     let target = parse_target circuit target_spec in
+    let nstate = List.length (N.latches circuit) in
     let r =
       with_trace trace_file (fun trace ->
-          R.backward ~engine ~incremental ~max_steps ~trace circuit target)
+          (* Reach sessions checkpoint once per frame (auto checkpoints
+             off), so the log's segments are exactly the frames. *)
+          let store, resume =
+            match (resume_file, store_file) with
+            | Some _, Some _ ->
+              die
+                "--store and --resume are mutually exclusive (--resume \
+                 appends to the same file)"
+            | Some path, None -> (
+              match St.resume ~checkpoint_every:0 ~trace ~path () with
+              | Ok (r, w) -> (Some w, Some r)
+              | Error e -> die "cannot resume %s: %s" path e)
+            | None, Some path ->
+              let source_crc =
+                if Sys.file_exists spec then Ps_store.Crc32.file spec else 0
+              in
+              let meta =
+                {
+                  St.engine = "reach";
+                  width = nstate;
+                  vars = [||];
+                  source = spec;
+                  source_crc;
+                }
+              in
+              (Some (St.create ~checkpoint_every:0 ~trace ~path meta), None)
+            | None, None -> (None, None)
+          in
+          let r =
+            try
+              R.backward ~engine ~incremental ~max_steps ~trace ?store ?resume
+                circuit target
+            with Invalid_argument msg -> die "%s" msg
+          in
+          (match store with
+          | Some w ->
+            St.finalize w ~complete:r.R.fixpoint ();
+            print_store_stats w
+          | None -> ());
+          r)
     in
     Format.printf "engine=%s steps=%d total_states=%g fixpoint=%b time=%.3fs@."
       (R.engine_name r.R.engine) (List.length r.R.steps) r.R.total_states
@@ -352,7 +425,7 @@ let reach_cmd =
     (Cmd.info "reach" ~doc:"Backward-reachability fixpoint")
     Term.(
       const run $ circuit_arg $ target_arg $ engine $ incremental $ max_steps
-      $ trace_from $ trace_file)
+      $ trace_from $ trace_file $ store_arg $ resume_arg)
 
 (* --- allsat -------------------------------------------------------------- *)
 
@@ -381,7 +454,7 @@ let allsat_cmd =
       & info [ "minimize" ] ~doc:"Post-process the cover (subsumption + merging).")
   in
   let run file width limit use_lift minimize timeout conflict_limit trace_file
-      jobs =
+      jobs store_file resume_file =
     let jobs = check_jobs jobs in
     let cnf, declared =
       try Ps_sat.Dimacs.parse_file_projected file with
@@ -400,22 +473,79 @@ let allsat_cmd =
         Ps_allsat.Project.of_vars (Array.init cnf.Ps_sat.Cnf.nvars Fun.id)
     in
     let w = Ps_allsat.Project.width proj in
-    let solver = Ps_sat.Solver.create () in
-    if not (Ps_sat.Solver.load solver cnf) then
-      Format.printf "unsatisfiable at root@."
-    else begin
-      let lift = if use_lift then Some (Ps_allsat.Cnf_lift.make cnf proj) else None in
-      let budget = make_budget timeout conflict_limit in
-      let r =
-        with_trace trace_file (fun trace ->
+    with_trace trace_file (fun trace ->
+        let store, recovered =
+          match (resume_file, store_file) with
+          | Some _, Some _ ->
+            die
+              "--store and --resume are mutually exclusive (--resume appends \
+               to the same file)"
+          | Some path, None -> (
+            match St.resume ~trace ~path () with
+            | Ok (r, wtr) ->
+              if r.St.meta.St.width <> w then
+                die "resume: log is %d positions wide but the projection is %d"
+                  r.St.meta.St.width w;
+              if
+                r.St.meta.St.source_crc <> 0
+                && r.St.meta.St.source_crc <> Ps_store.Crc32.file file
+              then
+                die
+                  "resume: %s does not match the log's source formula (CRC \
+                   mismatch)"
+                  file;
+              (Some wtr, Some r)
+            | Error e -> die "cannot resume %s: %s" path e)
+          | None, Some path ->
+            let meta =
+              {
+                St.engine = "allsat";
+                width = w;
+                vars = Array.copy proj.Ps_allsat.Project.vars;
+                source = file;
+                source_crc = Ps_store.Crc32.file file;
+              }
+            in
+            (Some (St.create ~trace ~path meta), None)
+          | None, None -> (None, None)
+        in
+        let sink = Option.map St.sink store in
+        (* Resuming: everything already in the log is excluded from the
+           fresh enumeration by ordinary blocking clauses, so the run
+           continues exactly where the killed one stopped. *)
+        let prior = match recovered with Some r -> r.St.cubes | None -> [] in
+        let block_prior s =
+          List.iter
+            (fun c ->
+              ignore
+                (Ps_sat.Solver.add_clause s
+                   (Ps_allsat.Project.blocking_clause proj c)))
+            prior
+        in
+        let solver = Ps_sat.Solver.create () in
+        if not (Ps_sat.Solver.load solver cnf) then begin
+          Format.printf "unsatisfiable at root@.";
+          match store with
+          | Some wtr ->
+            St.finalize wtr ~complete:true ();
+            print_store_stats wtr
+          | None -> ()
+        end
+        else begin
+          block_prior solver;
+          let lift =
+            if use_lift then Some (Ps_allsat.Cnf_lift.make cnf proj) else None
+          in
+          let budget = make_budget timeout conflict_limit in
+          let r =
             match jobs with
             | None ->
-              Ps_allsat.Blocking.enumerate ~limit ?budget ~trace ?lift solver
-                proj
+              Ps_allsat.Blocking.enumerate ~limit ?budget ~trace ?sink ?lift
+                solver proj
             | Some jobs ->
               (* one fresh solver per guiding-path shard, confined to the
                  shard's prefix by unit clauses *)
-              Ps_allsat.Parallel.run ~jobs ~limit ?budget ~trace ~width:w
+              Ps_allsat.Parallel.run ~jobs ~limit ?budget ~trace ?sink ~width:w
                 ~run_shard:(fun ~prefix ~limit ~budget ~trace ->
                   let s = Ps_sat.Solver.create () in
                   if not (Ps_sat.Solver.load s cnf) then
@@ -429,27 +559,122 @@ let allsat_cmd =
                     List.iter
                       (fun l -> ignore (Ps_sat.Solver.add_clause s [ l ]))
                       (Ps_allsat.Project.lits_of_cube proj prefix);
+                    block_prior s;
                     Ps_allsat.Blocking.enumerate ?limit ?budget ~trace ?lift s
                       proj
                   end)
-                ())
-      in
-      let cubes = r.Ps_allsat.Run.cubes in
-      let cubes = if minimize then Ps_allsat.Cube_set.minimize cubes else cubes in
-      Format.printf "%d cubes covering %g projected solutions%s (%d SAT calls)@."
-        (List.length cubes)
-        (Ps_allsat.Cube_set.union_count w cubes)
-        (if Ps_allsat.Run.complete r then ""
-         else Printf.sprintf " [%s]" (Ps_allsat.Run.stopped_name r.Ps_allsat.Run.stopped))
-        (Ps_allsat.Blocking.sat_calls r);
-      List.iter (fun c -> Format.printf "%a@." Ps_allsat.Cube.pp c) cubes
-    end
+                ()
+          in
+          (match store with
+          | Some wtr ->
+            St.finalize wtr ~complete:(Ps_allsat.Run.complete r) ();
+            print_store_stats wtr
+          | None -> ());
+          let cubes = prior @ r.Ps_allsat.Run.cubes in
+          let cubes =
+            if minimize then Ps_allsat.Cube_set.minimize cubes else cubes
+          in
+          Format.printf
+            "%d cubes covering %g projected solutions%s (%d SAT calls)@."
+            (List.length cubes)
+            (Ps_allsat.Cube_set.union_count w cubes)
+            (if Ps_allsat.Run.complete r then ""
+             else
+               Printf.sprintf " [%s]"
+                 (Ps_allsat.Run.stopped_name r.Ps_allsat.Run.stopped))
+            (Ps_allsat.Blocking.sat_calls r);
+          List.iter (fun c -> Format.printf "%a@." Ps_allsat.Cube.pp c) cubes
+        end)
   in
   Cmd.v
     (Cmd.info "allsat" ~doc:"Enumerate projected solutions of a DIMACS formula")
     Term.(
       const run $ file $ width $ limit $ use_lift $ minimize $ timeout_arg
-      $ conflict_limit_arg $ trace_file_arg $ jobs_arg)
+      $ conflict_limit_arg $ trace_file_arg $ jobs_arg $ store_arg
+      $ resume_arg)
+
+(* --- verify ---------------------------------------------------------------- *)
+
+let verify_cmd =
+  let log_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"LOG" ~doc:"Solution log written by $(b,--store).")
+  in
+  let cnf_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cnf" ] ~docv:"FILE"
+          ~doc:
+            "DIMACS formula to certify against. Default: the source path \
+             recorded in the log's meta record.")
+  in
+  let reject fmt =
+    Printf.ksprintf
+      (fun s ->
+        prerr_endline ("preimage_cli: verify: REJECTED: " ^ s);
+        exit 1)
+      fmt
+  in
+  let run log cnf_file trace_file =
+    with_trace trace_file (fun trace ->
+        match St.recover ~path:log with
+        | Error e -> reject "%s" e
+        | Ok r ->
+          (match Ps_store.Verify.certifiable r with
+          | Some reason -> reject "%s" reason
+          | None -> ());
+          let cnf_path =
+            match cnf_file with
+            | Some f -> f
+            | None -> r.St.meta.St.source
+          in
+          if cnf_path = "" || not (Sys.file_exists cnf_path) then
+            die "verify: formula file %S not found (point --cnf at it)"
+              cnf_path;
+          if
+            r.St.meta.St.source_crc <> 0
+            && Ps_store.Crc32.file cnf_path <> r.St.meta.St.source_crc
+          then
+            reject "%s does not match the log's source formula (CRC mismatch)"
+              cnf_path;
+          let cnf =
+            try Ps_sat.Dimacs.parse_file cnf_path with
+            | Ps_sat.Dimacs.Parse_error { line; msg } ->
+              die "%s: line %d: %s" cnf_path line msg
+            | Sys_error msg -> die "%s" msg
+          in
+          let report =
+            try Ps_store.Verify.run ~trace ~cnf r
+            with Invalid_argument msg -> die "verify: %s" msg
+          in
+          Format.printf "cubes=%d sat_calls=%d sound=%b complete=%b@."
+            report.Ps_store.Verify.cubes report.Ps_store.Verify.sat_calls
+            report.Ps_store.Verify.sound report.Ps_store.Verify.complete;
+          if Ps_store.Verify.ok report then
+            Format.printf
+              "VERIFIED: the log is a sound and complete solution cover@."
+          else begin
+            List.iter
+              (fun c ->
+                Format.eprintf "  unsound cube: %a@." Ps_allsat.Cube.pp c)
+              report.Ps_store.Verify.unsound;
+            if not report.Ps_store.Verify.complete then
+              prerr_endline
+                "  incomplete: the formula has solutions outside the logged \
+                 cover";
+            reject "certification failed"
+          end)
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Independently certify a solution log: one SAT call per cube \
+          (soundness) plus one covering call (completeness), with a fresh \
+          solver. Exits 1 if the log is damaged, incomplete, or wrong.")
+    Term.(const run $ log_arg $ cnf_arg $ trace_file_arg)
 
 (* --- bmc ------------------------------------------------------------------ *)
 
@@ -613,6 +838,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            suite_cmd; info_cmd; preimage_cmd; reach_cmd; allsat_cmd; bmc_cmd;
-            atpg_cmd; prove_cmd; equiv_cmd;
+            suite_cmd; info_cmd; preimage_cmd; reach_cmd; allsat_cmd;
+            verify_cmd; bmc_cmd; atpg_cmd; prove_cmd; equiv_cmd;
           ]))

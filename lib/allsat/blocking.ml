@@ -5,7 +5,7 @@ module Trace = Ps_util.Trace
 
 type result = Run.t
 
-let enumerate ?limit ?budget ?(trace = Trace.null) ?lift solver proj =
+let enumerate ?limit ?budget ?(trace = Trace.null) ?sink ?lift solver proj =
   let stats = Stats.create () in
   let width = Project.width proj in
   let cubes = ref [] in
@@ -45,6 +45,7 @@ let enumerate ?limit ?budget ?(trace = Trace.null) ?lift solver proj =
             Cube.of_masked_assignment bits mask
         in
         cubes := cube :: !cubes;
+        Run.emit_cube sink cube;
         incr n_cubes;
         Stats.add stats "fixed_literals" (Cube.num_fixed cube);
         if not (Trace.is_null trace) then

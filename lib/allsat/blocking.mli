@@ -35,12 +35,16 @@ type result = Run.t
     [trace] receives a [Cube] event per emitted cube, the solver's
     events, and a final [Stopped] event.
 
+    [sink] receives every emitted cube in discovery order, as it is
+    found — the streaming hook of the durable solution store.
+
     The solver is left unsatisfiable (all solutions blocked) iff the
     run is [`Complete]. *)
 val enumerate :
   ?limit:int ->
   ?budget:Ps_util.Budget.t ->
   ?trace:Ps_util.Trace.sink ->
+  ?sink:Run.sink ->
   ?lift:(bool array -> bool array) ->
   Ps_sat.Solver.t ->
   Project.t ->

@@ -1,15 +1,18 @@
+(* Subsumption removal via the shared ternary trie (see {!Cube_trie}):
+   load every distinct cube, then keep exactly the cubes not strictly
+   subsumed by another stored cube. This preserves the historical
+   semantics of the pairwise O(n²) scan it replaced — dedupe first
+   (identical cubes never protect each other), output in sorted order,
+   and a cube survives iff no {e distinct} cube subsumes it (subsumption
+   is transitive and antisymmetric on distinct cubes, so dropping
+   non-maximal cubes in any order yields the same maximal set). *)
 let reduce cubes =
-  let rec keep acc = function
-    | [] -> List.rev acc
-    | c :: rest ->
-      let subsumed_by other = (not (Cube.equal other c)) && Cube.subsumes other c in
-      if List.exists subsumed_by acc || List.exists subsumed_by rest then
-        keep acc rest
-      else keep (c :: acc) rest
-  in
-  (* dedupe first so identical cubes don't protect each other *)
-  let cubes = List.sort_uniq Cube.compare cubes in
-  keep [] cubes
+  match List.sort_uniq Cube.compare cubes with
+  | [] -> []
+  | c0 :: _ as cubes ->
+    let trie = Cube_trie.create (Cube.width c0) in
+    List.iter (fun c -> ignore (Cube_trie.add trie c)) cubes;
+    List.filter (fun c -> not (Cube_trie.subsumed ~strict:true trie c)) cubes
 
 (* Two cubes merge when they agree everywhere except exactly one position
    where both are fixed with opposite values. *)
@@ -71,6 +74,24 @@ let union_count width cubes =
       (Solution_graph.zero man) cubes
   in
   Solution_graph.count_models g
+
+type count = { value : float; exact : bool }
+
+(* Model counts are accumulated in IEEE doubles, whose integers are
+   exact only up to 2^53: for width <= 53 every intermediate count is an
+   integer <= 2^width <= 2^53 and every addition of two such integers
+   with a representable sum is exact, so the result is the true count.
+   Past width 53 intermediate sums can silently round (near-full covers
+   like 2^60 - 1 are not representable), so the result is flagged
+   inexact; and for very large widths 2^width overflows to [infinity],
+   which is clamped to [Float.max_float] so callers never see an
+   infinite "count". *)
+let union_count_checked width cubes =
+  let value = union_count width cubes in
+  if width <= 53 then { value; exact = true }
+  else if Float.is_integer value && value <> Float.infinity then
+    { value; exact = false }
+  else { value = Float.max_float; exact = false }
 
 let equal_union width a b =
   let man = Solution_graph.new_man ~width in

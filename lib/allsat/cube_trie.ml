@@ -1,0 +1,102 @@
+(* Ternary subsumption trie over fixed-width cubes.
+
+   One node per cube-string prefix, with up to three children ('0', '1',
+   '-'). A stored cube [d] subsumes a query cube [c] iff at every
+   position [d] is don't-care or agrees with [c], so the subsumption
+   query walks at most two children per level (the '-' child, plus the
+   child matching the query's character) instead of scanning the whole
+   cube set — the membership test is O(width · nodes-on-matching-paths)
+   and in practice near O(width).
+
+   This index is shared by {!Cube_set.reduce} (batch subsumption
+   removal) and by the on-disk solution store (subsumption-on-write):
+   both need the same "is this cube already covered by a single stored
+   cube" primitive. *)
+
+type node = {
+  mutable terminal : bool;
+  mutable zero : node option;
+  mutable one : node option;
+  mutable dc : node option;
+}
+
+type t = { width : int; root : node; mutable count : int }
+
+let new_node () = { terminal = false; zero = None; one = None; dc = None }
+
+let create width =
+  if width < 0 then invalid_arg "Cube_trie.create: negative width";
+  { width; root = new_node (); count = 0 }
+
+let width t = t.width
+let count t = t.count
+
+let check_width t s =
+  if String.length s <> t.width then
+    invalid_arg "Cube_trie: cube width does not match the trie"
+
+let child node = function
+  | '0' -> node.zero
+  | '1' -> node.one
+  | _ -> node.dc
+
+let set_child node ch n =
+  match ch with
+  | '0' -> node.zero <- Some n
+  | '1' -> node.one <- Some n
+  | _ -> node.dc <- Some n
+
+let add t c =
+  let s = Cube.to_string c in
+  check_width t s;
+  let rec go node i =
+    if i = t.width then begin
+      let fresh = not node.terminal in
+      node.terminal <- true;
+      fresh
+    end
+    else
+      match child node s.[i] with
+      | Some n -> go n (i + 1)
+      | None ->
+        let n = new_node () in
+        set_child node s.[i] n;
+        go n (i + 1)
+  in
+  let fresh = go t.root 0 in
+  if fresh then t.count <- t.count + 1;
+  fresh
+
+(* [d] strictly subsumes [c] (as strings, d <> c) iff the walk takes the
+   '-' edge at a position where [c] is fixed — that is the only way a
+   subsuming stored cube can differ from the query. *)
+let subsumed_gen t c ~strict =
+  let s = Cube.to_string c in
+  check_width t s;
+  let rec go node i strict_ok =
+    if i = t.width then node.terminal && strict_ok
+    else
+      let ch = s.[i] in
+      (match node.dc with
+      | Some n -> if ch <> '-' then go n (i + 1) true else go n (i + 1) strict_ok
+      | None -> false)
+      ||
+      match ch with
+      | '0' -> (match node.zero with Some n -> go n (i + 1) strict_ok | None -> false)
+      | '1' -> (match node.one with Some n -> go n (i + 1) strict_ok | None -> false)
+      | _ -> false
+  in
+  go t.root 0 (not strict)
+
+let subsumed ?(strict = false) t c = subsumed_gen t c ~strict
+
+let insert t c = if subsumed_gen t c ~strict:false then false else add t c
+
+let mem t c =
+  let s = Cube.to_string c in
+  check_width t s;
+  let rec go node i =
+    if i = t.width then node.terminal
+    else match child node s.[i] with Some n -> go n (i + 1) | None -> false
+  in
+  go t.root 0

@@ -1,0 +1,37 @@
+(** Ternary subsumption trie over fixed-width cubes.
+
+    The shared index behind {!Cube_set.reduce} and the solution store's
+    subsumption-on-write: stores a set of cubes of one width and answers
+    "does some stored cube subsume this one?" by walking at most two
+    trie children per level (the don't-care child plus the child
+    matching the query's character), instead of comparing against every
+    stored cube. *)
+
+type t
+
+(** [create width] is an empty trie over cubes of [width] positions.
+    Every operation raises [Invalid_argument] on a cube of a different
+    width. *)
+val create : int -> t
+
+val width : t -> int
+
+(** [count t] is the number of distinct cubes stored. *)
+val count : t -> int
+
+(** [add t c] stores [c] unconditionally. Returns [false] iff [c] was
+    already stored (as an identical cube). *)
+val add : t -> Cube.t -> bool
+
+(** [subsumed ?strict t c] — does some stored cube subsume [c]?
+    With [~strict:true] the subsumer must differ from [c] (a stored copy
+    of [c] itself does not count); default [false] counts it. *)
+val subsumed : ?strict:bool -> t -> Cube.t -> bool
+
+(** [insert t c] stores [c] unless it is subsumed by (or equal to) a
+    stored cube; returns [true] iff it was stored. This is the
+    write-time dedup primitive of the solution store. *)
+val insert : t -> Cube.t -> bool
+
+(** [mem t c] — is exactly [c] stored? *)
+val mem : t -> Cube.t -> bool

@@ -27,9 +27,10 @@ module Trace = Ps_util.Trace
 
 type task = { prefix : Cube.t; depth : int }
 
-(* What one worker did with one task. *)
+(* What one worker did with one task. Kept carries the shard's cubes
+   already re-anchored under its prefix (the merge currency). *)
 type processed =
-  | Kept of Run.t
+  | Kept of Run.t * Cube.t list
   | Resplit of Run.t  (* partial run, discarded; children enqueued *)
   | Dropped           (* cancelled before it ran *)
 
@@ -65,8 +66,8 @@ let default_split_depth width = min width 4
 let default_resplit_threshold = 8192
 
 let run ?(jobs = 1) ?split_depth ?(resplit_threshold = default_resplit_threshold)
-    ?max_split_depth ?limit ?budget ?(trace = Trace.null) ~width ~run_shard ()
-    =
+    ?max_split_depth ?limit ?budget ?(trace = Trace.null) ?sink ~width
+    ~run_shard () =
   if jobs < 1 then invalid_arg "Parallel.run: jobs must be >= 1";
   if resplit_threshold < 1 then
     invalid_arg "Parallel.run: resplit_threshold must be >= 1";
@@ -92,7 +93,7 @@ let run ?(jobs = 1) ?split_depth ?(resplit_threshold = default_resplit_threshold
   let mutex = Mutex.create () in
   let cond = Condition.create () in
   let pending = ref 0 in
-  let results : (task * Run.t) list ref = ref [] in
+  let results : (task * Run.t * Cube.t list) list ref = ref [] in
   let n_run = ref 0 in
   let n_resplits = ref 0 in
   let n_dropped = ref 0 in
@@ -155,7 +156,15 @@ let run ?(jobs = 1) ?split_depth ?(resplit_threshold = default_resplit_threshold
         (match limit with
         | Some l when total >= l -> Atomic.set stop_requested true
         | _ -> ());
-        Kept r
+        let anchored =
+          List.map (re_anchor ~prefix:task.prefix ~depth:task.depth) r.Run.cubes
+        in
+        (* Durable per-shard scratch: distinct prefixes, so concurrent
+           calls from different workers never collide (see Run.sink). *)
+        (match sink with
+        | Some s -> s.Run.on_shard ~prefix:shard_name ~cubes:anchored
+        | None -> ());
+        Kept (r, anchored)
       end
     end
   in
@@ -208,9 +217,9 @@ let run ?(jobs = 1) ?split_depth ?(resplit_threshold = default_resplit_threshold
         in
         Mutex.lock mutex;
         (match outcome with
-        | Kept r ->
+        | Kept (r, anchored) ->
           incr n_run;
-          results := (task, r) :: !results
+          results := (task, r, anchored) :: !results
         | Resplit _ ->
           incr n_resplits;
           List.iter
@@ -241,28 +250,26 @@ let run ?(jobs = 1) ?split_depth ?(resplit_threshold = default_resplit_threshold
   (* Deterministic merge: shards sorted by prefix = enumeration order
      of the partition; within a shard, discovery order is preserved. *)
   let sorted =
-    List.sort (fun (a, _) (b, _) -> Cube.compare a.prefix b.prefix) !results
+    List.sort
+      (fun (a, _, _) (b, _, _) -> Cube.compare a.prefix b.prefix)
+      !results
   in
-  let cubes =
-    List.concat_map
-      (fun (task, (r : Run.t)) ->
-        List.map
-          (re_anchor ~prefix:task.prefix ~depth:task.depth)
-          r.Run.cubes)
-      sorted
-  in
+  let cubes = List.concat_map (fun (_, _, anchored) -> anchored) sorted in
   let truncated, cubes =
     match limit with
     | Some l when List.length cubes > l -> (true, List.filteri (fun i _ -> i < l) cubes)
     | _ -> (false, cubes)
   in
-  let stats = Stats.sum (List.map (fun (_, (r : Run.t)) -> r.Run.stats) sorted) in
+  Run.emit_cubes sink cubes;
+  let stats =
+    Stats.sum (List.map (fun (_, (r : Run.t), _) -> r.Run.stats) sorted)
+  in
   Stats.add stats "shards" !n_run;
   Stats.add stats "shard_resplits" !n_resplits;
   Stats.add stats "shards_dropped" !n_dropped;
   Stats.add stats "par_jobs" jobs;
   List.iter
-    (fun (_, (r : Run.t)) ->
+    (fun (_, (r : Run.t), _) ->
       Stats.set_max stats "shard_cubes_max" (List.length r.Run.cubes))
     sorted;
   let stopped : Run.stopped =
@@ -271,7 +278,9 @@ let run ?(jobs = 1) ?split_depth ?(resplit_threshold = default_resplit_threshold
     | None ->
       if
         truncated || !n_dropped > 0
-        || List.exists (fun (_, (r : Run.t)) -> r.Run.stopped <> `Complete) sorted
+        || List.exists
+             (fun (_, (r : Run.t), _) -> r.Run.stopped <> `Complete)
+             sorted
       then `CubeLimit
       else `Complete
   in

@@ -75,6 +75,7 @@ val run :
   ?limit:int ->
   ?budget:Ps_util.Budget.t ->
   ?trace:Ps_util.Trace.sink ->
+  ?sink:Run.sink ->
   width:int ->
   run_shard:
     (prefix:Cube.t ->

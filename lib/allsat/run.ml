@@ -14,6 +14,19 @@ type t = {
   stopped : stopped;
 }
 
+type sink = {
+  on_cube : Cube.t -> unit;
+  on_shard : prefix:string -> cubes:Cube.t list -> unit;
+}
+
+let sink_of_fun on_cube = { on_cube; on_shard = (fun ~prefix:_ ~cubes:_ -> ()) }
+
+let emit_cube sink c =
+  match sink with None -> () | Some s -> s.on_cube c
+
+let emit_cubes sink cubes =
+  match sink with None -> () | Some s -> List.iter s.on_cube cubes
+
 let complete r = r.stopped = `Complete
 
 let stopped_name : stopped -> string = function

@@ -32,6 +32,39 @@ type t = {
   stopped : stopped;
 }
 
+(** A streaming consumer of enumerated cubes, threaded through every
+    producer of a {!t} (Blocking, SDS, k-step, Parallel, and the
+    reachability sessions). The concrete implementation is the durable
+    solution store ([Ps_store.Store.sink]), but any observer fits.
+
+    - [on_cube c] is called once per discovered cube. The blocking
+      engines call it in discovery order as each cube is found (so a
+      crash loses at most the in-flight cube); SDS calls it with the
+      graph's disjoint path cubes when the search finishes; {!Parallel}
+      calls it with the deterministically merged, re-anchored cubes
+      after the merge.
+    - [on_shard ~prefix ~cubes] is called by {!Parallel} when a
+      guiding-path shard completes, with the shard's re-anchored cubes —
+      the durable scratch record that survives a crash before the final
+      merge. Calls may come from different worker domains concurrently,
+      but always with {e distinct} prefixes; implementations must be
+      safe under that (e.g. one file per prefix). Completion order is
+      nondeterministic across runs; the final [on_cube] stream is the
+      deterministic one. *)
+type sink = {
+  on_cube : Cube.t -> unit;
+  on_shard : prefix:string -> cubes:Cube.t list -> unit;
+}
+
+(** [sink_of_fun f] is a sink whose [on_cube] is [f] and whose
+    [on_shard] does nothing. *)
+val sink_of_fun : (Cube.t -> unit) -> sink
+
+(** [emit_cube sink c] / [emit_cubes sink cs] — no-ops on [None]. *)
+val emit_cube : sink option -> Cube.t -> unit
+
+val emit_cubes : sink option -> Cube.t list -> unit
+
 (** [complete r] is [r.stopped = `Complete]. *)
 val complete : t -> bool
 

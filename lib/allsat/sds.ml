@@ -39,7 +39,7 @@ type result = Run.t
 let tri_char = function G.F -> '0' | G.T -> '1' | G.X -> 'x'
 
 let search ?(config = default_config) ?limit ?budget ?(trace = Trace.null)
-    ?prefix ~netlist ~root ~proj_nets ~solver () =
+    ?sink ?prefix ~netlist ~root ~proj_nets ~solver () =
   let n = Array.length proj_nets in
   let nnets = N.num_nets netlist in
   Array.iter
@@ -265,4 +265,8 @@ let search ?(config = default_config) ?limit ?budget ?(trace = Trace.null)
   Stats.merge ~into:stats (Solver.stats solver);
   if not (Trace.is_null trace) then
     Trace.emit trace (Trace.Stopped { reason = Run.stopped_name stopped });
-  { Run.cubes = Sg.cubes graph; graph = Some graph; stats; stopped }
+  let cubes = Sg.cubes graph in
+  (* SDS materializes cubes only when the graph is complete, so the sink
+     receives the disjoint path cover in one burst at the end. *)
+  Run.emit_cubes sink cubes;
+  { Run.cubes; graph = Some graph; stats; stopped }

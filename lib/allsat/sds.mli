@@ -100,6 +100,7 @@ val search :
   ?limit:int ->
   ?budget:Ps_util.Budget.t ->
   ?trace:Ps_util.Trace.sink ->
+  ?sink:Run.sink ->
   ?prefix:Cube.t ->
   netlist:Ps_circuit.Netlist.t ->
   root:int ->

@@ -48,7 +48,7 @@ let solution_count_of_cubes width cubes =
 
 let now () = Unix.gettimeofday ()
 
-let run_sds ?limit ?budget ~trace ~method_ instance =
+let run_sds ?limit ?budget ?sink ~trace ~method_ instance =
   let solver = Instance.solver instance in
   let variant =
     match sds_variant method_ with Some v -> v | None -> assert false
@@ -57,7 +57,7 @@ let run_sds ?limit ?budget ~trace ~method_ instance =
   let r =
     A.Sds.search
       ~config:(A.Sds.config variant)
-      ?limit ?budget ~trace ~netlist:instance.Instance.augmented
+      ?limit ?budget ~trace ?sink ~netlist:instance.Instance.augmented
       ~root:instance.Instance.root ~proj_nets:instance.Instance.proj_nets
       ~solver ()
   in
@@ -78,12 +78,12 @@ let run_sds ?limit ?budget ~trace ~method_ instance =
     time_s;
   }
 
-let run_blocking ?limit ?budget ~trace ~lift instance =
+let run_blocking ?limit ?budget ?sink ~trace ~lift instance =
   let solver = Instance.solver instance in
   let lift_fn = if lift then Some (Instance.lift instance) else None in
   let t0 = now () in
   let r =
-    A.Blocking.enumerate ?limit ?budget ~trace ?lift:lift_fn solver
+    A.Blocking.enumerate ?limit ?budget ~trace ?sink ?lift:lift_fn solver
       instance.Instance.proj
   in
   let time_s = now () -. t0 in
@@ -128,13 +128,13 @@ let shard_runner ~method_ instance ~prefix ~limit ~budget ~trace =
     in
     A.Blocking.enumerate ?limit ?budget ~trace ?lift:lift_fn solver proj
 
-let run_parallel ~jobs ?split_depth ?resplit_threshold ?limit ?budget ~trace
-    ~method_ instance =
+let run_parallel ~jobs ?split_depth ?resplit_threshold ?limit ?budget ?sink
+    ~trace ~method_ instance =
   let width = A.Project.width instance.Instance.proj in
   let t0 = now () in
   let r =
     A.Parallel.run ~jobs ?split_depth ?resplit_threshold ?limit ?budget ~trace
-      ~width
+      ?sink ~width
       ~run_shard:(shard_runner ~method_ instance)
       ()
   in
@@ -158,21 +158,23 @@ let run_parallel ~jobs ?split_depth ?resplit_threshold ?limit ?budget ~trace
   }
 
 let run ?budget ?(trace = Trace.null) ?limit ?jobs ?split_depth
-    ?resplit_threshold method_ instance =
+    ?resplit_threshold ?sink method_ instance =
   if not (Trace.is_null trace) then
     Trace.emit trace
       (Trace.Phase { engine = method_name method_; phase = "start" });
   let r =
     match jobs with
     | Some jobs ->
-      run_parallel ~jobs ?split_depth ?resplit_threshold ?limit ?budget ~trace
-        ~method_ instance
+      run_parallel ~jobs ?split_depth ?resplit_threshold ?limit ?budget ?sink
+        ~trace ~method_ instance
     | None -> (
       match method_ with
       | Sds | SdsDynamic | SdsNoMemo ->
-        run_sds ?limit ?budget ~trace ~method_ instance
-      | Blocking -> run_blocking ?limit ?budget ~trace ~lift:false instance
-      | BlockingLift -> run_blocking ?limit ?budget ~trace ~lift:true instance)
+        run_sds ?limit ?budget ?sink ~trace ~method_ instance
+      | Blocking ->
+        run_blocking ?limit ?budget ?sink ~trace ~lift:false instance
+      | BlockingLift ->
+        run_blocking ?limit ?budget ?sink ~trace ~lift:true instance)
   in
   if not (Trace.is_null trace) then
     Trace.emit trace

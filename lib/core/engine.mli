@@ -80,7 +80,13 @@ val complete : result -> bool
     [Shard_done] events. [split_depth] (default [min width 4]) and
     [resplit_threshold] tune the initial partition and the dynamic
     re-splitting; omitting [jobs] runs the classic sequential path
-    (no sharding at all). *)
+    (no sharding at all).
+
+    [sink] streams the enumerated cubes to an external consumer —
+    typically the durable solution store ({!Ps_allsat.Run.sink}): the
+    blocking engines emit per cube in discovery order, SDS in one burst
+    when the graph completes, and the parallel path additionally emits
+    per-shard durable records before the deterministic merged stream. *)
 val run :
   ?budget:Ps_util.Budget.t ->
   ?trace:Ps_util.Trace.sink ->
@@ -88,6 +94,7 @@ val run :
   ?jobs:int ->
   ?split_depth:int ->
   ?resplit_threshold:int ->
+  ?sink:Ps_allsat.Run.sink ->
   method_ ->
   Instance.t ->
   result

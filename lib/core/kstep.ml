@@ -55,7 +55,7 @@ let graft_target unrolled target =
   in
   (B.finalize b, root)
 
-let preimage ?(method_ = Engine.Sds) circuit target ~k =
+let preimage ?(method_ = Engine.Sds) ?sink circuit target ~k =
   let t0 = Unix.gettimeofday () in
   let unrolled = U.unroll circuit ~k in
   let augmented, root = graft_target unrolled target in
@@ -80,7 +80,7 @@ let preimage ?(method_ = Engine.Sds) circuit target ~k =
     let r =
       A.Sds.search
         ~config:(A.Sds.config variant)
-        ~netlist:augmented ~root ~proj_nets ~solver:(solver ()) ()
+        ?sink ~netlist:augmented ~root ~proj_nets ~solver:(solver ()) ()
     in
     let g = match r.A.Run.graph with Some g -> g | None -> assert false in
     let count =
@@ -98,7 +98,7 @@ let preimage ?(method_ = Engine.Sds) circuit target ~k =
               ~proj_nets)
       else None
     in
-    let r = A.Blocking.enumerate ?lift (solver ()) proj in
+    let r = A.Blocking.enumerate ?sink ?lift (solver ()) proj in
     let solutions =
       if method_ = Engine.Blocking then
         float_of_int (List.length r.A.Run.cubes)

@@ -1,6 +1,7 @@
 module B = Ps_bdd.Bdd
 module Cube = Ps_allsat.Cube
 module T = Ps_circuit.Transition
+module Ss = Session_store
 
 type engine = E_sds | E_sds_dynamic | E_blocking_lift | E_bdd | E_incremental
 
@@ -75,8 +76,8 @@ let step_of_frame (f : Reach_inc.frame) =
     time_s = f.Reach_inc.time_s;
   }
 
-let backward_incremental ~max_steps ~trace circuit target =
-  let r = Reach_inc.run ~max_steps ~trace circuit target in
+let backward_incremental ~max_steps ~trace ?store ?resume circuit target =
+  let r = Reach_inc.run ~max_steps ~trace ?store ?resume circuit target in
   {
     engine = E_incremental;
     steps = List.map step_of_frame r.Reach_inc.frames;
@@ -89,9 +90,9 @@ let backward_incremental ~max_steps ~trace circuit target =
   }
 
 let backward ?(engine = E_sds) ?(incremental = false) ?(max_steps = 1000)
-    ?(trace = Ps_util.Trace.null) circuit target =
+    ?(trace = Ps_util.Trace.null) ?store ?resume circuit target =
   if incremental || engine = E_incremental then
-    backward_incremental ~max_steps ~trace circuit target
+    backward_incremental ~max_steps ~trace ?store ?resume circuit target
   else begin
   let t_start = Unix.gettimeofday () in
   let tr = T.of_netlist circuit in
@@ -105,6 +106,43 @@ let backward ?(engine = E_sds) ?(incremental = false) ?(max_steps = 1000)
   let steps = ref [] in
   let index = ref 0 in
   let fixpoint = ref false in
+  let count0 = B.count_models ~nvars:nstate !reached in
+  (match resume with
+  | None ->
+    let target_cubes = cubes_of_bdd !reached ~width:nstate in
+    Ss.persist_frame store ~frame:0 ~cubes:target_cubes
+      ~ints:[ ("frontier_cubes", List.length target_cubes) ]
+      ~floats:
+        [
+          ("frontier_states", count0);
+          ("total_states", count0);
+          ("time_s", 0.0);
+        ]
+  | Some r ->
+    (* Replay the log's frames: rebuild reached/layers/frontier from the
+       per-frame canonical cubes and the step records from the frame
+       checkpoints, then continue the fixpoint where the killed run
+       stopped. *)
+    List.iter
+      (fun (f : Ss.rframe) ->
+        let ck = f.Ss.ck in
+        if ck.Ps_store.Store.frame > 0 then begin
+          let fresh = Ss.bdd_of_cubes man f.Ss.cubes in
+          reached := B.bor !reached fresh;
+          layers := !reached :: !layers;
+          frontier := fresh;
+          index := ck.Ps_store.Store.frame;
+          steps :=
+            {
+              index = ck.Ps_store.Store.frame;
+              frontier_states = Ss.float_stat ck "frontier_states";
+              total_states = Ss.float_stat ck "total_states";
+              frontier_cubes = Ss.int_stat ck "frontier_cubes";
+              time_s = Ss.float_stat ck "time_s";
+            }
+            :: !steps
+        end)
+      (Ss.check_resume r ~man ~nstate ~target:!reached));
   while (not !fixpoint) && !index < max_steps do
     if B.is_zero !frontier then fixpoint := true
     else begin
@@ -125,7 +163,7 @@ let backward ?(engine = E_sds) ?(incremental = false) ?(max_steps = 1000)
       reached := B.bor !reached fresh;
       layers := !reached :: !layers;
       frontier := fresh;
-      steps :=
+      let step =
         {
           index = !index;
           frontier_states = count fresh;
@@ -133,7 +171,17 @@ let backward ?(engine = E_sds) ?(incremental = false) ?(max_steps = 1000)
           frontier_cubes = List.length frontier_cubes;
           time_s = Unix.gettimeofday () -. t0;
         }
-        :: !steps;
+      in
+      steps := step :: !steps;
+      Ss.persist_frame store ~frame:!index
+        ~cubes:(cubes_of_bdd fresh ~width:nstate)
+        ~ints:[ ("frontier_cubes", step.frontier_cubes) ]
+        ~floats:
+          [
+            ("frontier_states", step.frontier_states);
+            ("total_states", step.total_states);
+            ("time_s", step.time_s);
+          ];
       if not (Ps_util.Trace.is_null trace) then
         Ps_util.Trace.emit trace
           (Ps_util.Trace.Frame_done

@@ -48,12 +48,25 @@ type result = {
     {!Ps_util.Trace.Frame_done} pair per fixpoint frame (from either
     path — the rebuild-per-frame baseline reports [learnts = 0] and
     [blocked = 0], since nothing persists across its frames) plus the
-    underlying solver events. *)
+    underlying solver events.
+
+    [store] persists the fixpoint into a durable solution log: the
+    target's canonical cubes under a [frame = 0] checkpoint, then each
+    frame's fresh-set cubes under a per-frame checkpoint — see
+    {!Session_store}. [resume] instead replays a recovered log
+    (rebuilding reached set, layers and steps bit-identically at the
+    set level) and continues the fixpoint from the frame after the last
+    checkpoint; replayed frames count toward [max_steps], so a killed
+    and resumed run ends at the same total frame count as an
+    uninterrupted one. Raises [Invalid_argument] when the log does not
+    match the circuit/target. *)
 val backward :
   ?engine:engine ->
   ?incremental:bool ->
   ?max_steps:int ->
   ?trace:Ps_util.Trace.sink ->
+  ?store:Ps_store.Store.writer ->
+  ?resume:Ps_store.Store.recovered ->
   Ps_circuit.Netlist.t ->
   Ps_allsat.Cube.t list ->
   result

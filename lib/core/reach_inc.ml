@@ -7,6 +7,7 @@ module Solver = Ps_sat.Solver
 module Lit = Ps_sat.Lit
 module Stats = Ps_util.Stats
 module Trace = Ps_util.Trace
+module Ss = Session_store
 
 type frame = {
   index : int;
@@ -44,6 +45,7 @@ type t = {
   mutable frames : frame list; (* reverse order *)
   mutable index : int;
   trace : Trace.sink;
+  store : Ps_store.Store.writer option;
   t_start : float;
 }
 
@@ -75,7 +77,7 @@ let block_state_cube t cube =
   in
   ignore (Solver.add_clause t.solver lits)
 
-let create ?(trace = Trace.null) circuit target =
+let create ?(trace = Trace.null) ?store ?resume circuit target =
   let tr = T.of_netlist circuit in
   let nstate = Array.length tr.T.state_nets in
   if nstate = 0 then invalid_arg "Reach_inc.create: circuit has no latches";
@@ -100,11 +102,57 @@ let create ?(trace = Trace.null) circuit target =
       frames = [];
       index = 0;
       trace;
+      store;
       t_start = Unix.gettimeofday ();
     }
   in
-  (* The target set is reached from the start: block its cubes now. *)
-  List.iter (block_state_cube t) (cubes_of_bdd reached ~width:nstate);
+  (match resume with
+  | None ->
+    (* The target set is reached from the start: block its cubes now,
+       and persist them as frame 0 of the session log. *)
+    let target_cubes = cubes_of_bdd reached ~width:nstate in
+    List.iter (block_state_cube t) target_cubes;
+    Ss.persist_frame store ~frame:0 ~cubes:target_cubes
+      ~ints:[ ("frontier_cubes", List.length target_cubes) ]
+      ~floats:
+        [
+          ("frontier_states", B.count_models ~nvars:nstate reached);
+          ("total_states", B.count_models ~nvars:nstate reached);
+          ("time_s", 0.0);
+        ]
+  | Some r ->
+    (* Resuming a killed session: rebuild the reached set, layers and
+       frame records from the log's frame checkpoints, block *every*
+       recovered cube permanently, and pick up at the next frame. *)
+    let frames =
+      Ss.check_resume r ~man ~nstate ~target:reached
+    in
+    List.iter
+      (fun (f : Ss.rframe) ->
+        List.iter (block_state_cube t) f.Ss.cubes;
+        if f.Ss.ck.Ps_store.Store.frame > 0 then begin
+          let fresh = Ss.bdd_of_cubes man f.Ss.cubes in
+          t.reached <- B.bor t.reached fresh;
+          t.layers <- t.reached :: t.layers;
+          t.frontier <- fresh;
+          t.index <- f.Ss.ck.Ps_store.Store.frame;
+          let ck = f.Ss.ck in
+          t.frames <-
+            {
+              index = ck.Ps_store.Store.frame;
+              frontier_cubes = Ss.int_stat ck "frontier_cubes";
+              new_cubes = Ss.int_stat ck "new_cubes";
+              blocking_clauses = Ss.int_stat ck "blocking_clauses";
+              sat_calls = Ss.int_stat ck "sat_calls";
+              conflicts = Ss.int_stat ck "conflicts";
+              learnts_start = Ss.int_stat ck "learnts_start";
+              frontier_states = Ss.float_stat ck "frontier_states";
+              total_states = Ss.float_stat ck "total_states";
+              time_s = Ss.float_stat ck "time_s";
+            }
+            :: t.frames
+        end)
+      frames);
   t
 
 let fixpoint_reached t = B.is_zero t.frontier
@@ -189,7 +237,7 @@ let frame t =
     t.layers <- t.reached :: t.layers;
     t.frontier <- fresh;
     let count f = B.count_models ~nvars:t.nstate f in
-    t.frames <-
+    let frame_rec =
       {
         index = t.index;
         frontier_cubes = List.length frontier_cubes;
@@ -202,7 +250,28 @@ let frame t =
         total_states = count t.reached;
         time_s = Unix.gettimeofday () -. t0;
       }
-      :: t.frames;
+    in
+    t.frames <- frame_rec :: t.frames;
+    (* Frame boundary = durability boundary: the fresh set's canonical
+       cubes followed by the frame checkpoint, so a killed session
+       resumes exactly here. *)
+    Ss.persist_frame t.store ~frame:t.index
+      ~cubes:(cubes_of_bdd fresh ~width:t.nstate)
+      ~ints:
+        [
+          ("frontier_cubes", frame_rec.frontier_cubes);
+          ("new_cubes", frame_rec.new_cubes);
+          ("blocking_clauses", frame_rec.blocking_clauses);
+          ("sat_calls", frame_rec.sat_calls);
+          ("conflicts", frame_rec.conflicts);
+          ("learnts_start", frame_rec.learnts_start);
+        ]
+      ~floats:
+        [
+          ("frontier_states", frame_rec.frontier_states);
+          ("total_states", frame_rec.total_states);
+          ("time_s", frame_rec.time_s);
+        ];
     Trace.emit t.trace
       (Trace.Frame_done
          {
@@ -227,10 +296,12 @@ let result t =
     solver_stats = Solver.stats t.solver;
   }
 
-let run ?(max_steps = 1000) ?trace circuit target =
-  let t = create ?trace circuit target in
-  let steps = ref 0 in
-  while (not (fixpoint_reached t)) && !steps < max_steps do
-    if frame t then incr steps
+let run ?(max_steps = 1000) ?trace ?store ?resume circuit target =
+  let t = create ?trace ?store ?resume circuit target in
+  (* [t.index] counts frames over the whole session, including frames
+     replayed from a resumed log — so max_steps means the same thing
+     for an interrupted-and-resumed run as for an uninterrupted one. *)
+  while (not (fixpoint_reached t)) && t.index < max_steps do
+    ignore (frame t)
   done;
   result t

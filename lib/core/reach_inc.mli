@@ -68,9 +68,22 @@ type t
 (** [create ?trace circuit target] encodes the transition cone, blocks
     the target cubes (the initial reached set) and posts the first
     frontier. Raises [Invalid_argument] when the circuit has no latches
-    (as {!Reach.backward}). *)
+    (as {!Reach.backward}).
+
+    [store] persists the session into a durable solution log
+    ({!Ps_store.Store}): the target's canonical cubes and a
+    [frame = 0] checkpoint at creation, then each frame's fresh-set
+    cubes and a per-frame checkpoint carrying the frame statistics.
+    [resume] rebuilds a killed session from a recovered log instead:
+    every recovered cube is re-blocked permanently, the reached set /
+    layers / frame records are reconstructed bit-identically (at the
+    set level), and the next {!frame} call runs frame [n+1]. Raises
+    [Invalid_argument] when the log does not match the circuit/target
+    ({!Session_store.check_resume}). *)
 val create :
   ?trace:Ps_util.Trace.sink ->
+  ?store:Ps_store.Store.writer ->
+  ?resume:Ps_store.Store.recovered ->
   Ps_circuit.Netlist.t ->
   Ps_allsat.Cube.t list ->
   t
@@ -93,10 +106,15 @@ val result : t -> result
 val solver : t -> Ps_sat.Solver.t
 
 (** [run ?max_steps ?trace circuit target] drives a fresh session to the
-    fixpoint (or [max_steps] frames, default 1000). *)
+    fixpoint (or [max_steps] frames, default 1000). With [resume],
+    frames replayed from the log count toward [max_steps], so an
+    interrupted-and-resumed run stops at the same total frame count as
+    an uninterrupted one. *)
 val run :
   ?max_steps:int ->
   ?trace:Ps_util.Trace.sink ->
+  ?store:Ps_store.Store.writer ->
+  ?resume:Ps_store.Store.recovered ->
   Ps_circuit.Netlist.t ->
   Ps_allsat.Cube.t list ->
   result

@@ -1,0 +1,42 @@
+(* CRC-32 (IEEE), bit-reflected, table-driven. On 64-bit OCaml the
+   native int comfortably holds the 32-bit value; every table entry and
+   result is masked into [0 .. 0xFFFFFFFF]. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let update crc s pos len =
+  if pos < 0 || len < 0 || pos + len > String.length s then
+    invalid_arg "Crc32.update";
+  let table = Lazy.force table in
+  let crc = ref (crc lxor 0xFFFFFFFF) in
+  for i = pos to pos + len - 1 do
+    crc := table.((!crc lxor Char.code (String.unsafe_get s i)) land 0xff)
+           lxor (!crc lsr 8)
+  done;
+  !crc lxor 0xFFFFFFFF land 0xFFFFFFFF
+
+let string s = update 0 s 0 (String.length s)
+
+let file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let buf = Bytes.create 65536 in
+      let crc = ref 0 in
+      let rec loop () =
+        let n = input ic buf 0 (Bytes.length buf) in
+        if n > 0 then begin
+          crc := update !crc (Bytes.unsafe_to_string buf) 0 n;
+          loop ()
+        end
+      in
+      loop ();
+      !crc)

@@ -1,0 +1,15 @@
+(** CRC-32 (IEEE 802.3, polynomial [0xEDB88320]), the checksum guarding
+    every record of the solution log. Table-driven, bit-reflected — the
+    same function as zlib's [crc32], so logs can be checked with
+    standard tools. Values are in [0 .. 0xFFFFFFFF]. *)
+
+(** [update crc s pos len] extends a running checksum over
+    [s.[pos .. pos+len-1]]. The empty-message checksum is [0]. *)
+val update : int -> string -> int -> int -> int
+
+(** [string s] is the checksum of the whole string. *)
+val string : string -> int
+
+(** [file path] is the checksum of a file's bytes (streamed; the file is
+    never held in memory). Raises [Sys_error] if unreadable. *)
+val file : string -> int

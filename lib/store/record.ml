@@ -1,0 +1,69 @@
+type read_result =
+  | Record of { tag : char; payload : string; bytes : int }
+  | Eof
+  | Corrupt of string
+
+let max_len = 16 * 1024 * 1024
+
+let put_u32 buf v =
+  Buffer.add_char buf (Char.chr (v land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 16) land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 24) land 0xff))
+
+let get_u32 b =
+  Char.code (Bytes.get b 0)
+  lor (Char.code (Bytes.get b 1) lsl 8)
+  lor (Char.code (Bytes.get b 2) lsl 16)
+  lor (Char.code (Bytes.get b 3) lsl 24)
+
+let write oc ~tag ~payload =
+  let len = 1 + String.length payload in
+  if len > max_len then invalid_arg "Record.write: payload too large";
+  let body = String.make 1 tag ^ payload in
+  let buf = Buffer.create (len + 8) in
+  put_u32 buf len;
+  Buffer.add_string buf body;
+  put_u32 buf (Crc32.string body);
+  Buffer.output_buffer oc buf;
+  len + 8
+
+(* [read_exact] returns how many bytes it managed to read, so a torn
+   frame is distinguishable from a clean end-of-file. *)
+let read_exact ic buf n =
+  let rec go off =
+    if off = n then n
+    else
+      let r = input ic buf off (n - off) in
+      if r = 0 then off else go (off + r)
+  in
+  go 0
+
+let read ic =
+  let hdr = Bytes.create 4 in
+  match read_exact ic hdr 4 with
+  | 0 -> Eof
+  | n when n < 4 -> Corrupt "truncated record header"
+  | _ ->
+    let len = get_u32 hdr in
+    if len < 1 || len > max_len then
+      Corrupt (Printf.sprintf "implausible record length %d" len)
+    else
+      let body = Bytes.create len in
+      if read_exact ic body len < len then Corrupt "truncated record body"
+      else
+        let crcb = Bytes.create 4 in
+        if read_exact ic crcb 4 < 4 then Corrupt "truncated record checksum"
+        else
+          let body = Bytes.unsafe_to_string body in
+          let crc = get_u32 crcb in
+          if Crc32.string body <> crc then
+            Corrupt
+              (Printf.sprintf "checksum mismatch (stored %08x, computed %08x)"
+                 crc (Crc32.string body))
+          else
+            Record
+              { tag = body.[0];
+                payload = String.sub body 1 (len - 1);
+                bytes = len + 8;
+              }

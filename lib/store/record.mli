@@ -1,0 +1,36 @@
+(** Length-framed, checksummed records — the wire unit of the solution
+    log.
+
+    One record is [[len:u32 LE][tag:1 byte][payload][crc:u32 LE]] where
+    [len] counts the tag plus payload bytes and [crc] is the
+    {!Crc32} checksum of exactly those bytes. The frame makes every
+    failure mode of an interrupted write detectable: a torn header,
+    torn body, torn checksum, or bit-flipped byte all surface as
+    [Corrupt], never as a silently wrong record. *)
+
+(** Result of reading one record at the current channel position.
+    [Eof] means the previous record ended exactly at end-of-file — the
+    only clean way for a log to stop. Any partial or checksum-failing
+    tail is [Corrupt] with a diagnostic. *)
+type read_result =
+  | Record of { tag : char; payload : string; bytes : int }
+      (** [bytes] is the full frame size consumed, including framing. *)
+  | Eof
+  | Corrupt of string
+
+(** Records larger than this (16 MiB) are rejected as corrupt — a
+    defence against interpreting garbage as a gigantic length. *)
+val max_len : int
+
+(** [write oc ~tag ~payload] appends one record and returns the number
+    of bytes written (framing included). Does not flush. *)
+val write : out_channel -> tag:char -> payload:string -> int
+
+(** [read ic] consumes one record (or the corrupt tail). *)
+val read : in_channel -> read_result
+
+(** [read_exact ic buf n] fills [buf.[0..n-1]] from the channel and
+    returns how many bytes it actually got ([< n] only at
+    end-of-file) — the primitive that lets callers distinguish a torn
+    frame from a clean EOF. *)
+val read_exact : in_channel -> bytes -> int -> int

@@ -1,0 +1,92 @@
+module Cube = Ps_allsat.Cube
+module Project = Ps_allsat.Project
+module Solver = Ps_sat.Solver
+module Cnf = Ps_sat.Cnf
+module Trace = Ps_util.Trace
+
+type report = {
+  cubes : int;
+  sound : bool;
+  complete : bool;
+  unsound : Cube.t list;
+  sat_calls : int;
+}
+
+let ok r = r.sound && r.complete
+
+let certifiable (r : Store.recovered) =
+  if r.torn then Some "log has a torn/corrupt tail"
+  else if r.dropped_cubes > 0 then
+    Some
+      (Printf.sprintf "log has %d cube(s) after the last checkpoint"
+         r.dropped_cubes)
+  else if r.last.Store.kind <> "final" then
+    Some "log was never finalized (no final checkpoint)"
+  else if not r.last.Store.complete then
+    Some "final checkpoint does not claim a complete enumeration"
+  else if List.length r.Store.cubes <> r.last.Store.cubes then
+    Some
+      (Printf.sprintf
+         "final checkpoint records %d cubes but the log holds %d"
+         r.last.Store.cubes
+         (List.length r.Store.cubes))
+  else None
+
+let run ?(trace = Trace.null) ~cnf (r : Store.recovered) =
+  let meta = r.Store.meta in
+  if Array.length meta.Store.vars = 0 then
+    invalid_arg "Verify.run: log meta carries no projection variables";
+  if Array.length meta.Store.vars <> meta.Store.width then
+    invalid_arg "Verify.run: projection size differs from cube width";
+  let proj = Project.of_vars meta.Store.vars in
+  let solver = Solver.create () in
+  let root_ok = Solver.load solver cnf in
+  Array.iter (fun v -> Solver.ensure_vars solver (v + 1)) meta.Store.vars;
+  let sat_calls = ref 0 in
+  let unsound = ref [] in
+  (* Soundness: each cube must intersect the solution set. Assumptions
+     keep the solver reusable across probes (and across the
+     completeness check below). A root-unsat formula makes every cube
+     unsound. *)
+  List.iter
+    (fun c ->
+      let is_sound =
+        root_ok
+        &&
+        (incr sat_calls;
+         Solver.solve ~assumptions:(Project.lits_of_cube proj c) solver
+         = Solver.Sat)
+      in
+      if not is_sound then unsound := c :: !unsound)
+    r.Store.cubes;
+  (* Completeness: block every cube; any remaining model would be a
+     solution the log missed. *)
+  let complete =
+    if not root_ok then true
+    else begin
+      let still_sat =
+        List.for_all
+          (fun c -> Solver.add_clause solver (Project.blocking_clause proj c))
+          r.Store.cubes
+      in
+      (not still_sat)
+      ||
+      (incr sat_calls;
+       Solver.solve solver = Solver.Unsat)
+    end
+  in
+  let report =
+    {
+      cubes = List.length r.Store.cubes;
+      sound = !unsound = [];
+      complete;
+      unsound = List.rev !unsound;
+      sat_calls = !sat_calls;
+    }
+  in
+  if not (Trace.is_null trace) then
+    Trace.emit trace
+      (Trace.Store_verified
+         { cubes = report.cubes; sound = report.sound;
+           complete = report.complete });
+  report

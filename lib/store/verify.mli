@@ -1,0 +1,41 @@
+(** Independent coverage certification of a solution log.
+
+    Replays a recovered log against the original formula with a fresh
+    solver — none of the enumeration machinery is trusted — and
+    certifies two properties:
+
+    - {b Soundness}: every logged cube really is a solution region —
+      one SAT call per cube, asserting the cube's literals as
+      assumptions; the call must be satisfiable.
+    - {b Completeness}: the cubes cover {e every} solution — the
+      blocking clause of each cube is added and the formula must then
+      be unsatisfiable ([formula ∧ ¬(∪ cubes)] UNSAT).
+
+    The certificate is only meaningful for a log whose enumeration
+    finished: callers must reject logs whose recovery was torn, dropped
+    trailing cubes, or whose final checkpoint lacks [complete] — see
+    {!certifiable}. *)
+
+type report = {
+  cubes : int;  (** cubes checked *)
+  sound : bool;
+  complete : bool;
+  unsound : Ps_allsat.Cube.t list;  (** counterexample cubes (all of them) *)
+  sat_calls : int;
+}
+
+(** [certifiable r] is [None] when the recovered log is eligible for
+    certification — not torn, no dropped tail cubes, final checkpoint
+    marked complete — and [Some reason] otherwise. *)
+val certifiable : Store.recovered -> string option
+
+(** [run ~cnf r] certifies the recovered log against [cnf], using the
+    projection recorded in the log's meta ([meta.vars]). Emits a
+    [Store_verified] trace event. Raises [Invalid_argument] if the meta
+    carries no projection variables or their count differs from the
+    cube width. *)
+val run :
+  ?trace:Ps_util.Trace.sink -> cnf:Ps_sat.Cnf.t -> Store.recovered -> report
+
+(** [ok report] — both properties certified. *)
+val ok : report -> bool

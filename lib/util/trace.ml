@@ -23,6 +23,9 @@ type event =
       sat_calls : int;
       conflicts : int;
     }
+  | Store_open of { path : string; cubes : int; resumed : bool }
+  | Checkpoint of { frame : int; cubes : int; bytes : int }
+  | Store_verified of { cubes : int; sound : bool; complete : bool }
 
 let event_name = function
   | Restart _ -> "restart"
@@ -38,6 +41,9 @@ let event_name = function
   | Stopped _ -> "stopped"
   | Frame_start _ -> "frame_start"
   | Frame_done _ -> "frame_done"
+  | Store_open _ -> "store_open"
+  | Checkpoint _ -> "checkpoint"
+  | Store_verified _ -> "store_verified"
 
 (* The only strings we embed are engine/phase/result names and stop
    reasons — all identifier-like — but escape defensively anyway. *)
@@ -92,6 +98,14 @@ let to_json ~time_s ev =
       Printf.sprintf
         {|"index":%d,"new_cubes":%d,"blocked":%d,"sat_calls":%d,"conflicts":%d|}
         index new_cubes blocked sat_calls conflicts
+    | Store_open { path; cubes; resumed } ->
+      Printf.sprintf {|"path":%s,"cubes":%d,"resumed":%b|} (json_string path)
+        cubes resumed
+    | Checkpoint { frame; cubes; bytes } ->
+      Printf.sprintf {|"frame":%d,"cubes":%d,"bytes":%d|} frame cubes bytes
+    | Store_verified { cubes; sound; complete } ->
+      Printf.sprintf {|"cubes":%d,"sound":%b,"complete":%b|} cubes sound
+        complete
   in
   Printf.sprintf {|{"t":%.6f,"ev":%s,%s}|} time_s
     (json_string (event_name ev))
@@ -121,7 +135,8 @@ let throttled ?(interval_s = 0.1) f =
   let last = ref neg_infinity in
   callback (fun ~time_s ev ->
       match ev with
-      | Stopped _ | Phase _ | Frame_start _ | Frame_done _ ->
+      | Stopped _ | Phase _ | Frame_start _ | Frame_done _ | Store_open _
+      | Checkpoint _ | Store_verified _ ->
         last := time_s;
         f ~time_s ev
       | _ ->

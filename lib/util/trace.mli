@@ -61,6 +61,18 @@ type event =
           blocking clauses added {e this frame} (never the whole reached
           set — see docs/ALGORITHMS.md §11), and the frame's SAT
           calls/conflicts *)
+  | Store_open of { path : string; cubes : int; resumed : bool }
+      (** a solution store was created or recovered: [cubes] already in
+          the log ([0] for a fresh store), [resumed] when the log was
+          recovered and reopened for append *)
+  | Checkpoint of { frame : int; cubes : int; bytes : int }
+      (** a durable checkpoint record was written (and the log flushed):
+          reachability frame index (or a sequence number for allsat
+          logs), kept cubes so far, and the log size in bytes *)
+  | Store_verified of { cubes : int; sound : bool; complete : bool }
+      (** the independent cover certification finished: [sound] — every
+          stored cube's assumptions are satisfiable; [complete] —
+          formula ∧ ¬(∪ cubes) is unsatisfiable *)
 
 val event_name : event -> string
 
@@ -89,8 +101,9 @@ val jsonl_file : string -> sink * (unit -> unit)
 
 (** [throttled ~interval_s f] forwards at most one event per
     [interval_s] seconds to [f] — except {!Stopped}, {!Phase},
-    {!Frame_start} and {!Frame_done} events, which always pass (they
-    are rare and structural). Default interval: 0.1 s. *)
+    {!Frame_start}, {!Frame_done}, {!Store_open}, {!Checkpoint} and
+    {!Store_verified} events, which always pass (they are rare and
+    structural). Default interval: 0.1 s. *)
 val throttled : ?interval_s:float -> (time_s:float -> event -> unit) -> sink
 
 (** [tee a b] duplicates every event to both sinks. *)
